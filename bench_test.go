@@ -1,0 +1,361 @@
+package samrdlb
+
+import (
+	"testing"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/cluster"
+	"samrdlb/internal/dlb"
+	"samrdlb/internal/engine"
+	"samrdlb/internal/exp"
+	"samrdlb/internal/geom"
+	"samrdlb/internal/grid"
+	"samrdlb/internal/load"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/mpx"
+	"samrdlb/internal/netsim"
+	"samrdlb/internal/solver"
+	"samrdlb/internal/workload"
+)
+
+// benchOpts keeps figure benchmarks bounded: two configurations and a
+// short horizon per iteration. The full paper sweep is cmd/figures.
+func benchOpts() exp.Options {
+	return exp.Options{Steps: 6, Configs: []int{2, 4}, Seed: 42}
+}
+
+// BenchmarkFig1Hierarchy regenerates Figure 1: building the four-level
+// grid hierarchy from flagged cells (regrid of the blob driver).
+func BenchmarkFig1Hierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := machine.Origin2000("ANL", 4)
+		r := engine.New(sys, workload.NewStaticBlob(16, 2), engine.Options{Steps: 1, MaxLevel: 3})
+		res := r.Run()
+		if r.Hierarchy().NumLevels() < 3 {
+			b.Fatal("hierarchy too shallow")
+		}
+		_ = res
+	}
+}
+
+// BenchmarkFig2ExecutionOrder regenerates Figure 2: one level-0 step
+// through four subcycled levels.
+func BenchmarkFig2ExecutionOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := machine.WanPair(2, nil)
+		r := engine.New(sys, workload.NewStaticBlob(16, 2), engine.Options{Steps: 1, MaxLevel: 3})
+		r.Run()
+	}
+}
+
+// BenchmarkFig3ParallelVsDistributed regenerates Figure 3: the
+// parallel-machine vs distributed-system comparison under the parallel
+// DLB.
+func BenchmarkFig3ParallelVsDistributed(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig3(o)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig6Redistribution regenerates Figure 6's event: a global
+// imbalance check ending in a boundary-shifting redistribution.
+func BenchmarkFig6Redistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := machine.WanPair(2, nil)
+		h := amr.New(geom.UnitCube(16), 2, 1, 1, false, "q")
+		for x := 0; x < 16; x += 2 {
+			owner := 0
+			if x >= 12 {
+				owner = 2
+			}
+			h.AddGrid(0, geom.BoxFromShape(geom.Index{x, 0, 0}, geom.Index{2, 16, 16}), owner, amr.NoGrid)
+		}
+		rec := newRecorder(sys, h)
+		ctx := &dlb.Context{Sys: sys, H: h, Load: rec}
+		b.StartTimer()
+		d := (dlb.DistributedDLB{}).GlobalBalance(ctx)
+		if !d.Invoked {
+			b.Fatal("redistribution did not happen")
+		}
+	}
+}
+
+// BenchmarkFig7ExecutionTimeAMR64 regenerates Figure 7's AMR64 series
+// (LAN system, both schemes).
+func BenchmarkFig7ExecutionTimeAMR64(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig7("AMR64", o)
+		for _, r := range rows {
+			if r.Distributed <= 0 {
+				b.Fatal("bad run")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7ExecutionTimeShockPool3D regenerates Figure 7's
+// ShockPool3D series (WAN system, both schemes).
+func BenchmarkFig7ExecutionTimeShockPool3D(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig7("ShockPool3D", o)
+		for _, r := range rows {
+			if r.Distributed <= 0 {
+				b.Fatal("bad run")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Efficiency regenerates Figure 8: the efficiency series
+// including the sequential E(1) baseline.
+func BenchmarkFig8Efficiency(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig8("ShockPool3D", o)
+		for _, r := range rows {
+			if r.DistEfficiency <= 0 {
+				b.Fatal("bad efficiency")
+			}
+		}
+	}
+}
+
+// BenchmarkGammaSweep runs the γ-sensitivity ablation.
+func BenchmarkGammaSweep(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows := exp.GammaSweep([]float64{0.5, 2, 8}, o)
+		if len(rows) != 3 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+// BenchmarkProbe measures the two-message α/β estimation (Section
+// 4.2's cost model input).
+func BenchmarkProbe(b *testing.B) {
+	link := netsim.MrenWAN(&netsim.BurstyTraffic{QuietLoad: 0.1, BusyLoad: 0.6, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		_, _, _ = link.Probe(float64(i) * 0.1)
+	}
+}
+
+// --- micro-benchmarks for the design choices DESIGN.md calls out ---
+
+// BenchmarkAdvectionKernel measures the upwind hyperbolic step on a
+// 32³ patch (the unit of real compute work).
+func BenchmarkAdvectionKernel(b *testing.B) {
+	p := grid.NewPatch(geom.UnitCube(32), 0, 1, solver.FieldQ)
+	k := solver.Advection3D{Vel: [3]float64{1, 0.5, 0.25}}
+	dt := solver.MaxStableDt(k.MaxSpeed(), 1.0/32, 0.4)
+	b.SetBytes(32 * 32 * 32 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.PeriodicFill(p, solver.FieldQ)
+		k.Step(p, dt, 1.0/32)
+	}
+}
+
+// BenchmarkGaussSeidel measures the elliptic relaxation on a 32³
+// patch.
+func BenchmarkGaussSeidel(b *testing.B) {
+	p := grid.NewPatch(geom.UnitCube(32), 0, 1, solver.FieldPhi, solver.FieldRho)
+	gs := solver.GaussSeidel{Sweeps: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs.Step(p, 0, 1.0/32)
+	}
+}
+
+// BenchmarkBergerRigoutsos measures clustering a shock-plane flag
+// pattern on a 64³ level.
+func BenchmarkBergerRigoutsos(b *testing.B) {
+	f := cluster.NewFlagField(geom.UnitCube(64))
+	s := workload.NewShockPool3D(64, 2)
+	s.Flag(0, 0.5, f)
+	p := cluster.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boxes := cluster.Cluster(f, p)
+		if len(boxes) == 0 {
+			b.Fatal("no boxes")
+		}
+	}
+}
+
+// BenchmarkGhostPlan measures exchange-plan construction for a
+// 64-grid level (the per-step communication planning cost).
+func BenchmarkGhostPlan(b *testing.B) {
+	h := amr.New(geom.UnitCube(32), 2, 1, 1, false, "q")
+	boxes := geom.BoxList{h.Domain}.SplitEvenly(64)
+	for i, bx := range boxes {
+		h.AddGrid(0, bx, i%8, amr.NoGrid)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := h.GhostPlan(0, false)
+		if len(plan) == 0 {
+			b.Fatal("no messages")
+		}
+	}
+}
+
+// BenchmarkLocalBalance measures one local balancing pass over an
+// imbalanced 64-grid level.
+func BenchmarkLocalBalance(b *testing.B) {
+	sys := machine.WanPair(4, nil)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := amr.New(geom.UnitCube(32), 2, 1, 1, false, "q")
+		boxes := geom.BoxList{h.Domain}.SplitEvenly(64)
+		for _, bx := range boxes {
+			h.AddGrid(0, bx, 0, amr.NoGrid) // everything on proc 0
+		}
+		ctx := &dlb.Context{Sys: sys, H: h, Load: newRecorder(sys, h)}
+		b.StartTimer()
+		migs := (dlb.ParallelDLB{}).LocalBalance(ctx, 0)
+		if len(migs) == 0 {
+			b.Fatal("no migrations")
+		}
+	}
+}
+
+// BenchmarkFullStepWithData measures one fully real (data-carrying)
+// level-0 step on 8 simulated processors using all host cores.
+func BenchmarkFullStepWithData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := machine.WanPair(4, nil)
+		r := engine.New(sys, workload.NewShockPool3D(32, 2), engine.Options{
+			Steps: 1, MaxLevel: 2, WithData: true, Pool: solver.NewPool(0),
+		})
+		r.Run()
+	}
+}
+
+// newRecorder seeds a load recorder with the hierarchy's current
+// level-0 distribution, as the engine does after a step.
+func newRecorder(sys *machine.System, h *amr.Hierarchy) *load.Recorder {
+	rec := load.NewRecorder(sys.NumProcs(), h.MaxLevel)
+	w := make([]float64, sys.NumProcs())
+	for _, g := range h.Grids(0) {
+		w[g.Owner] += float64(g.NumCells())
+	}
+	for p, v := range w {
+		rec.RecordLevelWork(p, 0, v)
+	}
+	rec.SetIntervalTime(100)
+	return rec
+}
+
+// BenchmarkMultigridSolve measures a full V-cycle solve to 1e-8 on a
+// 32³ Poisson problem.
+func BenchmarkMultigridSolve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := grid.NewPatch(geom.UnitCube(32), 0, 1, solver.FieldPhi, solver.FieldRho)
+		p.FillFunc(solver.FieldRho, func(i geom.Index) float64 {
+			if i == (geom.Index{16, 16, 16}) {
+				return 1
+			}
+			return 0
+		})
+		b.StartTimer()
+		mg := solver.Multigrid{}
+		if _, res := mg.Solve(p, 1.0/32, 1e-8, 60); res > 1e-8 {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkGaussSeidelEquivalentWork is the ablation partner of
+// BenchmarkMultigridSolve: the same problem attacked with plain
+// relaxation (it will not converge; the point is the cost per sweep).
+func BenchmarkGaussSeidelEquivalentWork(b *testing.B) {
+	p := grid.NewPatch(geom.UnitCube(32), 0, 1, solver.FieldPhi, solver.FieldRho)
+	p.FillFunc(solver.FieldRho, func(i geom.Index) float64 {
+		if i == (geom.Index{16, 16, 16}) {
+			return 1
+		}
+		return 0
+	})
+	gs := solver.GaussSeidel{Sweeps: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gs.Step(p, 0, 1.0/32)
+	}
+}
+
+// BenchmarkBurgersKernel measures the Godunov Burgers step on a 32³
+// patch.
+func BenchmarkBurgersKernel(b *testing.B) {
+	p := grid.NewPatch(geom.UnitCube(32), 0, 1, solver.FieldQ)
+	p.FillFunc(solver.FieldQ, func(i geom.Index) float64 { return float64(i[0]%5) * 0.2 })
+	k := solver.Burgers3D{}
+	dt := solver.MaxStableDt(k.MaxSpeed(1), 1.0/32, 0.4)
+	b.SetBytes(32 * 32 * 32 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.PeriodicFill(p, solver.FieldQ)
+		k.Step(p, dt, 1.0/32)
+	}
+}
+
+// BenchmarkMPXGhostExchange measures one full message-passing ghost
+// exchange over 4 ranks against the shared-memory equivalent.
+func BenchmarkMPXGhostExchange(b *testing.B) {
+	h := amr.New(geom.UnitCube(32), 2, 0, 1, true, "q")
+	boxes := geom.BoxList{h.Domain}.SplitEvenly(16)
+	boxes.SortByLo()
+	for i, bx := range boxes {
+		h.AddGrid(0, bx, i%4, amr.NoGrid)
+	}
+	w := mpx.NewWorld(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(r *mpx.Rank) {
+			h.FillGhostsMPX(r, 0)
+		})
+	}
+}
+
+// BenchmarkSharedMemoryGhostExchange is BenchmarkMPXGhostExchange's
+// in-process baseline.
+func BenchmarkSharedMemoryGhostExchange(b *testing.B) {
+	h := amr.New(geom.UnitCube(32), 2, 0, 1, true, "q")
+	boxes := geom.BoxList{h.Domain}.SplitEvenly(16)
+	boxes.SortByLo()
+	for i, bx := range boxes {
+		h.AddGrid(0, bx, i%4, amr.NoGrid)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.FillGhostsData(0)
+	}
+}
+
+// BenchmarkRefluxedStep measures a full data-carrying level-0 step
+// with conservative flux correction enabled.
+func BenchmarkRefluxedStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := machine.Origin2000("ANL", 2)
+		r := engine.New(sys, workload.NewStaticBlob(16, 2), engine.Options{
+			Steps: 1, MaxLevel: 1, WithData: true, Reflux: true,
+		})
+		r.Run()
+	}
+}
+
+// BenchmarkForecastRecord measures the NWS predictor-family update.
+func BenchmarkForecastRecord(b *testing.B) {
+	s := netsim.NewSeries(64)
+	for i := 0; i < b.N; i++ {
+		s.Record(float64(i % 17))
+	}
+}

@@ -1,0 +1,55 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (Figures 3, 7, 8) plus the γ ablation, printing
+// the measured series next to the paper's reported bands.
+//
+// Usage:
+//
+//	figures                 # the full report
+//	figures -fig 7          # one figure
+//	figures -steps 20       # longer runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samrdlb/internal/exp"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "all | 3 | 7 | 8 | gamma | ablations")
+		format = flag.String("format", "text", "text | md (markdown report)")
+		steps  = flag.Int("steps", 10, "level-0 steps per run")
+		seed   = flag.Int64("seed", 42, "workload and traffic seed")
+	)
+	flag.Parse()
+
+	o := exp.Options{Steps: *steps, Seed: *seed}
+	if *format == "md" {
+		fmt.Print(exp.MarkdownReport(o))
+		return
+	}
+	switch *fig {
+	case "all":
+		fmt.Print(exp.Report(o))
+	case "3":
+		fmt.Print(exp.Fig3Report(o))
+	case "7":
+		fmt.Print(exp.Fig7Report("AMR64", o))
+		fmt.Println()
+		fmt.Print(exp.Fig7Report("ShockPool3D", o))
+	case "8":
+		fmt.Print(exp.Fig8Report("AMR64", o))
+		fmt.Println()
+		fmt.Print(exp.Fig8Report("ShockPool3D", o))
+	case "gamma":
+		fmt.Print(exp.GammaReport(o))
+	case "ablations":
+		fmt.Print(exp.AblationReport(o))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,117 @@
+// Command hierarchy renders the structural figures of the paper: the
+// SAMR grid hierarchy (Figure 1), the integrated execution order
+// (Figure 2), the balancing points (Figure 5), and a global
+// redistribution example (Figure 6), all from real runs.
+//
+// Usage:
+//
+//	hierarchy            # Figure 1: grid hierarchy dump
+//	hierarchy -order     # Figures 2 & 5: execution order + balance points
+//	hierarchy -redist    # Figure 6: global redistribution example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samrdlb/internal/engine"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/trace"
+	"samrdlb/internal/workload"
+)
+
+func main() {
+	var (
+		order    = flag.Bool("order", false, "print the integration order (Figs. 2, 5)")
+		redist   = flag.Bool("redist", false, "print a global redistribution example (Fig. 6)")
+		jsonPath = flag.String("json", "", "also write the event trace as JSON to this file")
+	)
+	flag.Parse()
+
+	switch {
+	case *order:
+		printOrder(*jsonPath)
+	case *redist:
+		printRedist(*jsonPath)
+	default:
+		printHierarchy()
+	}
+}
+
+// printHierarchy reproduces Figure 1: a four-level hierarchy from the
+// static-blob driver, one line per grid.
+func printHierarchy() {
+	sys := machine.Origin2000("ANL", 4)
+	r := engine.New(sys, workload.NewStaticBlob(16, 2), engine.Options{
+		Steps: 1, MaxLevel: 3,
+	})
+	r.Run()
+	h := r.Hierarchy()
+	fmt.Println("Figure 1 — SAMR grid hierarchy (levels 0..3, blob refinement):")
+	for l := 0; l <= h.MaxLevel; l++ {
+		grids := h.Grids(l)
+		fmt.Printf("level %d: %d grids, %d cells\n", l, len(grids), h.TotalCells(l))
+		for _, g := range grids {
+			fmt.Printf("  grid %3d  box %-28v owner p%-2d parent %d\n", g.ID, g.Box, g.Owner, g.Parent)
+		}
+	}
+	if err := h.CheckProperNesting(); err != nil {
+		fmt.Println("NESTING VIOLATION:", err)
+	} else {
+		fmt.Println("proper nesting: OK")
+	}
+}
+
+// printOrder reproduces Figures 2 and 5: the recursive integration
+// order for 4 levels at refinement factor 2, with the DLB points.
+func printOrder(jsonPath string) {
+	sys := machine.WanPair(2, nil)
+	tr := trace.New()
+	r := engine.New(sys, workload.NewStaticBlob(16, 2), engine.Options{
+		Steps: 1, MaxLevel: 3, Trace: tr,
+	})
+	r.Run()
+	fmt.Println("Figure 2 — integrated execution order (refinement factor 2, one level-0 step):")
+	fmt.Print(tr.OrderDiagram(3))
+	fmt.Println("\nFigure 5 — balancing points (local after finer-level steps, global after level-0):")
+	fmt.Print(tr.String())
+	writeJSON(tr, jsonPath)
+}
+
+func writeJSON(tr *trace.Recorder, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace JSON written to %s\n", path)
+}
+
+// printRedist reproduces Figure 6: the shock plane loads one group;
+// the scheme shifts the group boundary.
+func printRedist(jsonPath string) {
+	sys := machine.WanPair(2, nil)
+	tr := trace.New()
+	r := engine.New(sys, workload.NewShockPool3D(32, 2), engine.Options{
+		Steps: 10, MaxLevel: 2, Trace: tr,
+	})
+	res := r.Run()
+	fmt.Println("Figure 6 — global redistribution events (ShockPool3D on 2+2 WAN):")
+	for _, e := range tr.OfKind(trace.GlobalCheck) {
+		fmt.Printf("  t=%.3f %s\n", e.VTime, e.Note)
+	}
+	for _, e := range tr.OfKind(trace.Redistribution) {
+		fmt.Printf("  t=%.3f REDISTRIBUTED %s\n", e.VTime, e.Note)
+	}
+	fmt.Printf("total: %d evaluations, %d redistributions\n", res.GlobalEvals, res.GlobalRedists)
+	writeJSON(tr, jsonPath)
+}

@@ -1,0 +1,64 @@
+// Command netprobe demonstrates the network model and the paper's
+// two-message α/β probing under each background-traffic model: it
+// samples the true load and the probe's estimates over time.
+//
+// Usage:
+//
+//	netprobe -model bursty -duration 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samrdlb/internal/netsim"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "bursty", "constant | sinusoid | bursty | walk")
+		duration = flag.Float64("duration", 120, "seconds of virtual time to sample")
+		step     = flag.Float64("step", 10, "sampling interval")
+		seed     = flag.Int64("seed", 7, "traffic seed")
+		forecast = flag.Bool("forecast", false, "show the NWS-style forecast next to the raw probe")
+	)
+	flag.Parse()
+
+	var traffic netsim.TrafficModel
+	switch *model {
+	case "constant":
+		traffic = netsim.ConstantTraffic{Level: 0.4}
+	case "sinusoid":
+		traffic = netsim.SinusoidTraffic{Mean: 0.4, Amp: 0.3, Period: 60}
+	case "bursty":
+		traffic = &netsim.BurstyTraffic{QuietLoad: 0.1, BusyLoad: 0.7, MeanQuiet: 25, MeanBusy: 12, Seed: *seed}
+	case "walk":
+		traffic = &netsim.RandomWalkTraffic{Start: 0.3, Step: 0.08, Interval: 5, Seed: *seed}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	link := netsim.MrenWAN(traffic)
+	fmt.Printf("link %s: alpha %.1f ms, nominal bandwidth %.1f Mb/s, traffic %s\n\n",
+		link.Name, link.Alpha*1e3, 8/link.Beta/1e6, *model)
+	lf := netsim.NewLinkForecast()
+	if *forecast {
+		fmt.Printf("%8s  %6s  %14s  %16s  %12s\n", "t(s)", "load", "beta-hat(us/KB)", "forecast(us/KB)", "best")
+	} else {
+		fmt.Printf("%8s  %6s  %12s  %14s  %12s\n", "t(s)", "load", "alpha-hat(ms)", "beta-hat(us/KB)", "1MB xfer(s)")
+	}
+	for t := 0.0; t <= *duration; t += *step {
+		aHat, bHat, _ := link.Probe(t)
+		if *forecast {
+			lf.Record(aHat, bHat)
+			_, fb, _ := lf.Forecast()
+			fmt.Printf("%8.1f  %6.2f  %14.2f  %16.2f  %12s\n",
+				t, link.LoadAt(t), bHat*1e6*1024, fb*1e6*1024, lf.Beta.Best())
+			continue
+		}
+		fmt.Printf("%8.1f  %6.2f  %12.2f  %14.2f  %12.3f\n",
+			t, link.LoadAt(t), aHat*1e3, bHat*1e6*1024, link.TransferTime(t, 1<<20))
+	}
+}

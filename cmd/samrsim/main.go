@@ -1,0 +1,134 @@
+// Command samrsim runs one SAMR experiment: a dataset on a system
+// with a DLB scheme, printing the execution-time breakdown.
+//
+// Usage:
+//
+//	samrsim -dataset ShockPool3D -system wan -scheme distributed -n 4 -steps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samrdlb/internal/dlb"
+	"samrdlb/internal/engine"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/metrics"
+	"samrdlb/internal/netsim"
+	"samrdlb/internal/solver"
+	"samrdlb/internal/trace"
+	"samrdlb/internal/vclock"
+	"samrdlb/internal/workload"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "ShockPool3D", "ShockPool3D | AMR64 | SedovBlast | blob | uniform")
+		system   = flag.String("system", "wan", "wan | lan | origin (single machine)")
+		scheme   = flag.String("scheme", "distributed", "distributed | parallel | sfc")
+		n        = flag.Int("n", 4, "processors per group (origin: total)")
+		steps    = flag.Int("steps", 10, "level-0 time steps")
+		maxLevel = flag.Int("maxlevel", 2, "deepest refinement level")
+		domainN  = flag.Int("domain", 32, "level-0 domain cells per side")
+		seed     = flag.Int64("seed", 42, "workload and traffic seed")
+		gamma    = flag.Float64("gamma", 0, "gain/cost threshold (0 = default 2.0)")
+		withData = flag.Bool("data", false, "carry and advance real field data")
+		traceOut = flag.Bool("trace", false, "print the event trace")
+		series   = flag.Bool("series", false, "print per-step time series")
+		saveTo   = flag.String("save", "", "write a hierarchy checkpoint to this file after the run")
+	)
+	flag.Parse()
+
+	var driver workload.Driver
+	switch *dataset {
+	case "ShockPool3D":
+		driver = workload.NewShockPool3D(*domainN, 2)
+	case "AMR64":
+		driver = workload.NewAMR64(*domainN, 2, *seed)
+	case "SedovBlast":
+		driver = workload.NewSedovBlast(*domainN, 2)
+	case "blob":
+		driver = workload.NewStaticBlob(*domainN, 2)
+	case "uniform":
+		driver = &workload.Uniform{N0: *domainN, Ref: 2}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	traffic := &netsim.BurstyTraffic{QuietLoad: 0.1, BusyLoad: 0.6, MeanQuiet: 30, MeanBusy: 15, Seed: *seed}
+	var sys *machine.System
+	switch *system {
+	case "wan":
+		sys = machine.WanPair(*n, traffic)
+	case "lan":
+		sys = machine.LanPair(*n, traffic)
+	case "origin":
+		sys = machine.Origin2000("ANL", *n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	var bal dlb.Balancer
+	switch *scheme {
+	case "distributed":
+		bal = dlb.DistributedDLB{}
+	case "parallel":
+		bal = dlb.ParallelDLB{}
+	case "sfc":
+		bal = dlb.SFCDLB{}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	tr := trace.New()
+	hist := metrics.NewHistory()
+	runner := engine.New(sys, driver, engine.Options{
+		Steps:    *steps,
+		Balancer: bal,
+		Gamma:    *gamma,
+		MaxLevel: *maxLevel,
+		WithData: *withData,
+		Pool:     solver.NewPool(0),
+		Trace:    tr,
+		History:  hist,
+	})
+	res := runner.Run()
+
+	fmt.Printf("%s\n\n", res)
+	tbl := metrics.NewTable("Breakdown (seconds)", "phase", "time", "share%")
+	for p := 0; p < vclock.NumPhases; p++ {
+		tbl.AddRow(vclock.Phase(p).String(), res.Breakdown[p], 100*res.Breakdown[p]/res.Total)
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\nglobal gain/cost evaluations: %d, redistributions: %d, local migrations: %d\n",
+		res.GlobalEvals, res.GlobalRedists, res.LocalMigrations)
+	fmt.Print(runner.Hierarchy().Summarize())
+	fmt.Printf("peak cells (all levels): %d, utilisation: %.2f\n", res.MaxCells, res.Utilisation)
+
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runner.Hierarchy().Save(f); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\ncheckpoint written to %s\n", *saveTo)
+	}
+
+	if *series {
+		fmt.Println("\nPer-step series:")
+		fmt.Print(hist.String())
+	}
+	if *traceOut {
+		fmt.Println("\nEvent trace:")
+		fmt.Print(tr.String())
+	}
+}

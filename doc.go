@@ -1,0 +1,13 @@
+// Package samrdlb reproduces "Dynamic Load Balancing of SAMR
+// Applications on Distributed Systems" (Lan, Taylor, Bryan; SC 2001):
+// a structured-AMR framework, a modelled distributed system with
+// heterogeneous processors and shared dynamic networks, the paper's
+// two DLB schemes, and a benchmark harness regenerating every figure
+// of its evaluation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); runnable entry points are under cmd/ and
+// examples/. The benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=Fig -benchmem
+package samrdlb

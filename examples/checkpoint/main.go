@@ -1,0 +1,69 @@
+// Checkpoint/restart: long SAMR campaigns rarely finish in one
+// sitting. Run half the steps, save the full hierarchy (structure,
+// ownership, field data) to a file, load it back and continue.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/engine"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/workload"
+)
+
+func main() {
+	path := filepath.Join(os.TempDir(), "samrdlb-checkpoint.bin")
+	defer os.Remove(path)
+
+	// Phase 1: run five steps with real data and checkpoint.
+	first := engine.New(machine.WanPair(2, nil), workload.NewShockPool3D(16, 2), engine.Options{
+		Steps: 5, MaxLevel: 2, WithData: true,
+	})
+	res1 := first.Run()
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := first.Hierarchy().Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	st, _ := os.Stat(path)
+	fmt.Printf("phase 1: %d steps, virtual time %.3fs; checkpoint %s (%d KiB)\n",
+		res1.Steps, res1.Total, path, st.Size()/1024)
+
+	// Phase 2: load and continue where phase 1 stopped.
+	in, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h, err := amr.Load(in)
+	in.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	second := engine.New(machine.WanPair(2, nil), workload.NewShockPool3D(16, 2), engine.Options{
+		Steps: 5, MaxLevel: 2, WithData: true,
+		Resume: h, ResumeTime: first.Time(),
+	})
+	res2 := second.Run()
+	fmt.Printf("phase 2: resumed at t=%.4f, ran %d more steps, virtual time %.3fs\n",
+		first.Time(), res2.Steps, res2.Total)
+
+	h2 := second.Hierarchy()
+	for l := 0; l <= h2.MaxLevel; l++ {
+		fmt.Printf("  level %d: %d grids, %d cells\n", l, len(h2.Grids(l)), h2.TotalCells(l))
+	}
+	if err := h2.CheckProperNesting(); err != nil {
+		fmt.Println("NESTING VIOLATION:", err)
+		os.Exit(1)
+	}
+	fmt.Println("restart verified: hierarchy consistent, shock tracked across the restart")
+}

@@ -1,0 +1,57 @@
+// High-fidelity mode: real field data, data-driven (gradient)
+// regridding instead of a geometric schedule, and conservative flux
+// correction at coarse–fine boundaries — the full Berger–Colella
+// treatment running under the distributed DLB.
+package main
+
+import (
+	"fmt"
+
+	"samrdlb/internal/engine"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/metrics"
+	"samrdlb/internal/netsim"
+	"samrdlb/internal/solver"
+	"samrdlb/internal/workload"
+)
+
+func main() {
+	traffic := &netsim.BurstyTraffic{QuietLoad: 0.1, BusyLoad: 0.5, MeanQuiet: 25, MeanBusy: 10, Seed: 17}
+
+	run := func(reflux bool) (*metrics.Result, *engine.Runner, float64, float64) {
+		sys := machine.WanPair(2, traffic)
+		r := engine.New(sys, workload.NewShockPool3D(32, 2), engine.Options{
+			Steps:             8,
+			MaxLevel:          2,
+			WithData:          true,
+			Reflux:            reflux,
+			GradientField:     solver.FieldQ,
+			GradientThreshold: 0.25,
+			Pool:              solver.NewPool(0),
+		})
+		var before float64
+		for _, g := range r.Hierarchy().Grids(0) {
+			before += g.Patch.Sum(solver.FieldQ)
+		}
+		res := r.Run()
+		var after float64
+		for _, g := range r.Hierarchy().Grids(0) {
+			after += g.Patch.Sum(solver.FieldQ)
+		}
+		return res, r, before, after
+	}
+
+	res, runner, before, after := run(true)
+	_, _, b0, a0 := run(false)
+
+	fmt.Println("ShockPool3D, 2+2 WAN, gradient-driven regridding, flux-corrected:")
+	fmt.Println(" ", res)
+	h := runner.Hierarchy()
+	for l := 0; l <= h.MaxLevel; l++ {
+		fmt.Printf("  level %d: %d grids, %d cells\n", l, len(h.Grids(l)), h.TotalCells(l))
+	}
+	fmt.Printf("\nlevel-0 mass drift with refluxing:    %+.6f (%.4f -> %.4f)\n", after-before, before, after)
+	fmt.Printf("level-0 mass drift without refluxing: %+.6f (%.4f -> %.4f)\n", a0-b0, b0, a0)
+	fmt.Println("\n(the clamp boundary exchanges mass as the shock exits; refluxing removes")
+	fmt.Println(" the coarse-fine interface error component)")
+}

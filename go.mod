@@ -1,0 +1,3 @@
+module samrdlb
+
+go 1.22

@@ -1,0 +1,113 @@
+package amr
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"samrdlb/internal/geom"
+)
+
+// Checkpointing: a Hierarchy (structure, ownership, and field data)
+// can be written to a stream and reconstructed later — long SAMR
+// campaigns are restarted far more often than they finish in one
+// sitting.
+
+// checkpointHeader is the serialized form of the hierarchy metadata.
+type checkpointHeader struct {
+	Domain    geom.Box
+	RefFactor int
+	MaxLevel  int
+	NGhost    int
+	Fields    []string
+	WithData  bool
+	NumGrids  int
+}
+
+// checkpointGrid is the serialized form of one grid.
+type checkpointGrid struct {
+	ID     GridID
+	Level  int
+	Box    geom.Box
+	Owner  int
+	Parent GridID
+	// Data holds each field's storage over the grown box, in
+	// h.Fields order; nil for plan-only hierarchies.
+	Data [][]float64
+}
+
+// Save writes the hierarchy to w. The encoding is self-contained:
+// Load needs nothing but the stream.
+func (h *Hierarchy) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	hdr := checkpointHeader{
+		Domain:    h.Domain,
+		RefFactor: h.RefFactor,
+		MaxLevel:  h.MaxLevel,
+		NGhost:    h.NGhost,
+		Fields:    h.Fields,
+		WithData:  h.WithData,
+	}
+	for l := 0; l <= h.MaxLevel; l++ {
+		hdr.NumGrids += len(h.Grids(l))
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("amr.Save: header: %w", err)
+	}
+	for l := 0; l <= h.MaxLevel; l++ {
+		for _, g := range h.Grids(l) {
+			cg := checkpointGrid{
+				ID: g.ID, Level: g.Level, Box: g.Box,
+				Owner: g.Owner, Parent: g.Parent,
+			}
+			if h.WithData && g.Patch != nil {
+				cg.Data = make([][]float64, len(h.Fields))
+				for i, f := range h.Fields {
+					cg.Data[i] = g.Patch.Field(f)
+				}
+			}
+			if err := enc.Encode(cg); err != nil {
+				return fmt.Errorf("amr.Save: grid %d: %w", g.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Load reconstructs a hierarchy from a stream written by Save. Grid
+// IDs, owners, parent links and field data are preserved exactly.
+func Load(r io.Reader) (*Hierarchy, error) {
+	dec := gob.NewDecoder(r)
+	var hdr checkpointHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("amr.Load: header: %w", err)
+	}
+	h := New(hdr.Domain, hdr.RefFactor, hdr.MaxLevel, hdr.NGhost, hdr.WithData, hdr.Fields...)
+	for i := 0; i < hdr.NumGrids; i++ {
+		var cg checkpointGrid
+		if err := dec.Decode(&cg); err != nil {
+			return nil, fmt.Errorf("amr.Load: grid %d: %w", i, err)
+		}
+		// Grids were saved level by level, so parents precede children
+		// and AddGrid's parent check holds. Restore exact IDs.
+		g := h.AddGrid(cg.Level, cg.Box, cg.Owner, cg.Parent)
+		if g.ID != cg.ID {
+			// Re-key: checkpoint IDs are authoritative.
+			delete(h.byID, g.ID)
+			g.ID = cg.ID
+			h.byID[g.ID] = g
+			if cg.ID >= h.nextID {
+				h.nextID = cg.ID + 1
+			}
+		}
+		if hdr.WithData && cg.Data != nil {
+			for fi, f := range hdr.Fields {
+				copy(g.Patch.Field(f), cg.Data[fi])
+			}
+		}
+	}
+	if err := h.CheckProperNesting(); err != nil {
+		return nil, fmt.Errorf("amr.Load: checkpoint violates nesting: %w", err)
+	}
+	return h, nil
+}

@@ -1,0 +1,231 @@
+package amr
+
+import (
+	"samrdlb/internal/geom"
+	"samrdlb/internal/grid"
+)
+
+// MsgKind classifies an inter-grid transfer.
+type MsgKind int
+
+// Transfer kinds: sibling ghost exchange at one level, prolongation
+// from a parent into child ghost cells, and restriction of a child
+// solution onto its parent.
+const (
+	SiblingGhost MsgKind = iota
+	ParentProlong
+	ChildRestrict
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case SiblingGhost:
+		return "sibling-ghost"
+	case ParentProlong:
+		return "parent-prolong"
+	case ChildRestrict:
+		return "child-restrict"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is one inter-grid transfer of the exchange plan. Src and
+// Dst identify grids; the engine maps them to processors and links.
+type Message struct {
+	Src, Dst GridID
+	Bytes    int64
+	Kind     MsgKind
+}
+
+// planCache memoises a level's exchange plans against the hierarchy's
+// structural generation. Ownership changes do not invalidate it: the
+// plan is keyed by grid IDs and the engine resolves owners when it
+// charges the messages.
+type planCache struct {
+	gen             uint64
+	ghost, restrict []Message
+}
+
+// GhostPlanCached returns GhostPlan(l, false), memoised until the
+// grid structure changes. Callers must not mutate the returned slice.
+func (h *Hierarchy) GhostPlanCached(l int) []Message {
+	c := h.plans[l]
+	if c == nil || c.gen != h.gen {
+		c = &planCache{
+			gen:      h.gen,
+			ghost:    h.GhostPlan(l, false),
+			restrict: h.RestrictPlan(l, false),
+		}
+		h.plans[l] = c
+	}
+	return c.ghost
+}
+
+// RestrictPlanCached returns RestrictPlan(l, false), memoised until
+// the grid structure changes.
+func (h *Hierarchy) RestrictPlanCached(l int) []Message {
+	h.GhostPlanCached(l) // ensures the cache entry exists and is fresh
+	return h.plans[l].restrict
+}
+
+// GhostPlan returns the transfers required to fill the ghost zones of
+// every level-l grid before a step: sibling overlaps at the same
+// level, plus prolongation from the coarse level for ghost cells no
+// sibling covers. Zero-byte and intra-grid entries are omitted; so
+// are transfers where source and destination grids share a processor
+// only if dropLocal is true.
+func (h *Hierarchy) GhostPlan(l int, dropLocal bool) []Message {
+	var out []Message
+	bytesPerCell := int64(len(h.Fields)) * 8
+	dom := h.DomainAt(l)
+	grids := h.Grids(l)
+	for _, g := range grids {
+		grown := g.Box.Grow(h.NGhost).Intersect(dom)
+		ghost := geom.Subtract(grown, g.Box)
+		var covered geom.BoxList
+		for _, s := range grids {
+			if s.ID == g.ID || !s.Box.Intersects(grown) {
+				continue
+			}
+			for _, gb := range ghost {
+				ov := gb.Intersect(s.Box)
+				if ov.Empty() {
+					continue
+				}
+				covered = append(covered, ov)
+				if dropLocal && s.Owner == g.Owner {
+					continue
+				}
+				out = append(out, Message{
+					Src: s.ID, Dst: g.ID,
+					Bytes: ov.NumCells() * bytesPerCell,
+					Kind:  SiblingGhost,
+				})
+			}
+		}
+		if l == 0 {
+			continue
+		}
+		// Ghost cells not covered by siblings come from the coarse
+		// level (prolongation); attribute them to the parent grid.
+		var remaining int64
+		for _, gb := range ghost {
+			remaining += geom.SubtractList(gb, covered).NumCells()
+		}
+		if remaining > 0 {
+			p := h.Grid(g.Parent)
+			if p != nil && (!dropLocal || p.Owner != g.Owner) {
+				// Coarse data for r^3 fine ghost cells is one coarse
+				// cell; the transfer moves the coarse footprint.
+				r3 := int64(h.RefFactor * h.RefFactor * h.RefFactor)
+				coarseCells := (remaining + r3 - 1) / r3
+				out = append(out, Message{
+					Src: p.ID, Dst: g.ID,
+					Bytes: coarseCells * bytesPerCell,
+					Kind:  ParentProlong,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RestrictPlan returns the transfers that project every level-l grid
+// onto its parent after the level reaches its parent's physical time.
+func (h *Hierarchy) RestrictPlan(l int, dropLocal bool) []Message {
+	if l <= 0 {
+		return nil
+	}
+	var out []Message
+	bytesPerCell := int64(len(h.Fields)) * 8
+	r3 := int64(h.RefFactor * h.RefFactor * h.RefFactor)
+	for _, g := range h.Grids(l) {
+		p := h.Grid(g.Parent)
+		if p == nil {
+			continue
+		}
+		if dropLocal && p.Owner == g.Owner {
+			continue
+		}
+		out = append(out, Message{
+			Src: g.ID, Dst: p.ID,
+			Bytes: g.NumCells() / r3 * bytesPerCell,
+			Kind:  ChildRestrict,
+		})
+	}
+	return out
+}
+
+// FillGhostsData performs the actual data motion of GhostPlan on the
+// patches: copy sibling overlaps, prolong from the coarse level, and
+// clamp-extrapolate at the physical domain boundary.
+func (h *Hierarchy) FillGhostsData(l int) {
+	if !h.WithData {
+		return
+	}
+	dom := h.DomainAt(l)
+	grids := h.Grids(l)
+	for _, g := range grids {
+		grown := g.Patch.Grown()
+		ghost := geom.Subtract(grown, g.Box)
+		// 1. Prolongation from every overlapping coarse grid fills a
+		// baseline for the ghost cells with coarse coverage (never the
+		// interior, which holds the fine solution).
+		if l > 0 {
+			for _, c := range h.Grids(l - 1) {
+				refined := c.Box.Refine(h.RefFactor)
+				for _, gb := range ghost {
+					region := gb.Intersect(refined)
+					if region.Empty() {
+						continue
+					}
+					for _, f := range h.Fields {
+						grid.Prolong(g.Patch, c.Patch, f, h.RefFactor, region)
+					}
+				}
+			}
+		}
+		// 2. Sibling copies overwrite with same-level data.
+		for _, s := range grids {
+			if s.ID == g.ID {
+				continue
+			}
+			ov := grown.Intersect(s.Box)
+			if ov.Empty() {
+				continue
+			}
+			for _, f := range h.Fields {
+				grid.CopyRegion(g.Patch, s.Patch, f, ov)
+			}
+		}
+		// 3. Clamp at the physical boundary: ghost cells outside the
+		// domain copy the nearest interior cell (outflow condition).
+		grown.ForEach(func(i geom.Index) {
+			if dom.Contains(i) {
+				return
+			}
+			src := i.Max(dom.Lo).Min(dom.Hi).Max(g.Box.Lo).Min(g.Box.Hi)
+			for _, f := range h.Fields {
+				g.Patch.Set(f, i, g.Patch.At(f, src))
+			}
+		})
+	}
+}
+
+// RestrictData projects every level-l grid's solution onto its parent
+// patch (the data motion of RestrictPlan).
+func (h *Hierarchy) RestrictData(l int) {
+	if !h.WithData || l <= 0 {
+		return
+	}
+	for _, g := range h.Grids(l) {
+		p := h.Grid(g.Parent)
+		if p == nil || p.Patch == nil {
+			continue
+		}
+		for _, f := range h.Fields {
+			grid.Restrict(p.Patch, g.Patch, f, h.RefFactor)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package amr
+
+import (
+	"math"
+	"testing"
+
+	"samrdlb/internal/geom"
+)
+
+// twoSlabHierarchy builds level 0 as two adjacent 4x8x8 slabs owned by
+// procs 0 and 1.
+func twoSlabHierarchy(t *testing.T, withData bool) (*Hierarchy, *Grid, *Grid) {
+	t.Helper()
+	h := New(geom.UnitCube(8), 2, 1, 1, withData, "q")
+	a := h.AddGrid(0, geom.BoxFromShape(geom.Index{0, 0, 0}, geom.Index{4, 8, 8}), 0, NoGrid)
+	b := h.AddGrid(0, geom.BoxFromShape(geom.Index{4, 0, 0}, geom.Index{4, 8, 8}), 1, NoGrid)
+	return h, a, b
+}
+
+func TestGhostPlanSiblings(t *testing.T) {
+	h, a, b := twoSlabHierarchy(t, false)
+	plan := h.GhostPlan(0, false)
+	// Each slab needs one 1x8x8 plane from the other: 2 messages of
+	// 64 cells * 8 bytes.
+	if len(plan) != 2 {
+		t.Fatalf("expected 2 messages, got %d: %v", len(plan), plan)
+	}
+	for _, m := range plan {
+		if m.Kind != SiblingGhost {
+			t.Errorf("kind = %v", m.Kind)
+		}
+		if m.Bytes != 64*8 {
+			t.Errorf("bytes = %d, want 512", m.Bytes)
+		}
+		if !((m.Src == a.ID && m.Dst == b.ID) || (m.Src == b.ID && m.Dst == a.ID)) {
+			t.Errorf("unexpected endpoints %v", m)
+		}
+	}
+}
+
+func TestGhostPlanDropLocal(t *testing.T) {
+	h, _, b := twoSlabHierarchy(t, false)
+	b.Owner = 0 // same proc now
+	if plan := h.GhostPlan(0, true); len(plan) != 0 {
+		t.Errorf("same-owner messages must be dropped: %v", plan)
+	}
+	if plan := h.GhostPlan(0, false); len(plan) != 2 {
+		t.Error("dropLocal=false must keep all messages")
+	}
+}
+
+func TestGhostPlanParentProlong(t *testing.T) {
+	h := New(geom.UnitCube(8), 2, 1, 1, false, "q")
+	p := h.AddGrid(0, geom.UnitCube(8), 0, NoGrid)
+	// A lone fine grid in the middle: all its ghosts come from the
+	// parent.
+	h.AddGrid(1, geom.BoxFromShape(geom.Index{4, 4, 4}, geom.Index{4, 4, 4}), 1, p.ID)
+	plan := h.GhostPlan(1, false)
+	if len(plan) != 1 {
+		t.Fatalf("expected 1 prolong message, got %v", plan)
+	}
+	m := plan[0]
+	if m.Kind != ParentProlong || m.Src != p.ID {
+		t.Errorf("unexpected message %v", m)
+	}
+	// Ghost shell of a 4^3 box with width 1 = 6^3-4^3 = 152 cells ->
+	// ceil(152/8) = 19 coarse cells * 8 bytes.
+	if m.Bytes != 19*8 {
+		t.Errorf("bytes = %d, want 152", m.Bytes)
+	}
+	// Same-owner parent is dropped with dropLocal.
+	h.Grids(1)[0].Owner = 0
+	if plan := h.GhostPlan(1, true); len(plan) != 0 {
+		t.Errorf("local prolong must be dropped: %v", plan)
+	}
+}
+
+func TestGhostPlanSiblingBeatsParent(t *testing.T) {
+	// Two adjacent fine grids: their shared face comes from each
+	// other, the rest from the parent.
+	h := New(geom.UnitCube(8), 2, 1, 1, false, "q")
+	p := h.AddGrid(0, geom.UnitCube(8), 0, NoGrid)
+	h.AddGrid(1, geom.BoxFromShape(geom.Index{4, 4, 4}, geom.Index{4, 4, 4}), 1, p.ID)
+	h.AddGrid(1, geom.BoxFromShape(geom.Index{8, 4, 4}, geom.Index{4, 4, 4}), 2, p.ID)
+	plan := h.GhostPlan(1, false)
+	var sib, pro int
+	for _, m := range plan {
+		switch m.Kind {
+		case SiblingGhost:
+			sib++
+			if m.Bytes != 16*8 {
+				t.Errorf("sibling face bytes = %d, want 128", m.Bytes)
+			}
+		case ParentProlong:
+			pro++
+		}
+	}
+	if sib != 2 || pro != 2 {
+		t.Errorf("expected 2 sibling + 2 prolong messages, got %d + %d", sib, pro)
+	}
+}
+
+func TestRestrictPlan(t *testing.T) {
+	h := New(geom.UnitCube(8), 2, 1, 1, false, "q")
+	p := h.AddGrid(0, geom.UnitCube(8), 0, NoGrid)
+	c := h.AddGrid(1, geom.BoxFromShape(geom.Index{0, 0, 0}, geom.Index{8, 8, 8}), 1, p.ID)
+	plan := h.RestrictPlan(1, false)
+	if len(plan) != 1 {
+		t.Fatalf("plan = %v", plan)
+	}
+	m := plan[0]
+	if m.Kind != ChildRestrict || m.Src != c.ID || m.Dst != p.ID {
+		t.Errorf("message = %v", m)
+	}
+	// 512 fine cells -> 64 coarse cells * 8 bytes.
+	if m.Bytes != 64*8 {
+		t.Errorf("bytes = %d", m.Bytes)
+	}
+	if h.RestrictPlan(0, false) != nil {
+		t.Error("level 0 has no restrict plan")
+	}
+	c.Owner = 0
+	if plan := h.RestrictPlan(1, true); len(plan) != 0 {
+		t.Error("local restrict must be dropped")
+	}
+}
+
+func TestFillGhostsDataSiblingAndClamp(t *testing.T) {
+	h, a, b := twoSlabHierarchy(t, true)
+	a.Patch.FillConstant("q", 1)
+	b.Patch.FillConstant("q", 2)
+	h.FillGhostsData(0)
+	// a's ghost plane at x=4 must hold b's value.
+	if got := a.Patch.At("q", geom.Index{4, 3, 3}); got != 2 {
+		t.Errorf("sibling ghost = %v, want 2", got)
+	}
+	// a's ghost at x=-1 is outside the domain: clamped to interior 1.
+	if got := a.Patch.At("q", geom.Index{-1, 3, 3}); got != 1 {
+		t.Errorf("boundary ghost = %v, want 1", got)
+	}
+}
+
+func TestFillGhostsDataProlong(t *testing.T) {
+	h := New(geom.UnitCube(8), 2, 1, 1, true, "q")
+	p := h.AddGrid(0, geom.UnitCube(8), 0, NoGrid)
+	p.Patch.FillConstant("q", 7)
+	c := h.AddGrid(1, geom.BoxFromShape(geom.Index{4, 4, 4}, geom.Index{4, 4, 4}), 0, p.ID)
+	c.Patch.FillConstant("q", 0)
+	h.FillGhostsData(1)
+	// A fine ghost cell inside the domain but outside any sibling gets
+	// prolonged coarse data.
+	if got := c.Patch.At("q", geom.Index{3, 4, 4}); got != 7 {
+		t.Errorf("prolonged ghost = %v, want 7", got)
+	}
+	// Interior untouched.
+	if got := c.Patch.At("q", geom.Index{5, 5, 5}); got != 0 {
+		t.Errorf("interior overwritten: %v", got)
+	}
+}
+
+func TestRestrictDataConservative(t *testing.T) {
+	h := New(geom.UnitCube(4), 2, 1, 1, true, "q")
+	p := h.AddGrid(0, geom.UnitCube(4), 0, NoGrid)
+	c := h.AddGrid(1, geom.BoxFromShape(geom.Index{0, 0, 0}, geom.Index{4, 4, 4}), 0, p.ID)
+	c.Patch.FillConstant("q", 8)
+	h.RestrictData(1)
+	// Coarse cells covered by the child become the fine average (8).
+	if got := p.Patch.At("q", geom.Index{0, 0, 0}); math.Abs(got-8) > 1e-14 {
+		t.Errorf("restricted value = %v", got)
+	}
+	// Uncovered coarse cells stay 0.
+	if got := p.Patch.At("q", geom.Index{3, 3, 3}); got != 0 {
+		t.Errorf("uncovered cell touched: %v", got)
+	}
+}
+
+func TestPlanOnlyHierarchySkipsData(t *testing.T) {
+	h, a, _ := twoSlabHierarchy(t, false)
+	// Must not panic on nil patches.
+	h.FillGhostsData(0)
+	h.RestrictData(1)
+	if a.Patch != nil {
+		t.Error("plan-only hierarchy must not allocate patches")
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	if SiblingGhost.String() != "sibling-ghost" ||
+		ParentProlong.String() != "parent-prolong" ||
+		ChildRestrict.String() != "child-restrict" ||
+		MsgKind(9).String() != "unknown" {
+		t.Error("MsgKind names wrong")
+	}
+}

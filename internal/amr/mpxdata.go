@@ -1,0 +1,191 @@
+package amr
+
+import (
+	"samrdlb/internal/geom"
+	"samrdlb/internal/grid"
+	"samrdlb/internal/mpx"
+)
+
+// FillGhostsMPX performs exactly FillGhostsData's data motion, but
+// through a message-passing world: every inter-grid transfer whose
+// source and destination grids live on different ranks becomes a
+// tagged message between the owning ranks. Each rank reads and writes
+// only the patches its processor owns (plus serialized message
+// buffers), so the exchange is genuinely parallel. Grid owners are
+// interpreted as rank IDs.
+//
+// All ranks traverse the same deterministic transfer plan; the plan
+// position is the message tag. Every send is posted before any
+// receive within a phase, so the pattern cannot deadlock.
+func (h *Hierarchy) FillGhostsMPX(r *mpx.Rank, level int) {
+	if !h.WithData {
+		return
+	}
+	me := r.ID()
+	dom := h.DomainAt(level)
+	grids := h.Grids(level)
+
+	// Phase A: prolongation of ghost cells from the coarse level.
+	if level > 0 {
+		type prolongXfer struct {
+			g, c           *Grid
+			region, coarse geom.Box
+			tag            int
+		}
+		var xfers []prolongXfer
+		tag := 0
+		for _, g := range grids {
+			grown := g.Patch.Grown()
+			ghost := geom.Subtract(grown, g.Box)
+			for _, c := range h.Grids(level - 1) {
+				refined := c.Box.Refine(h.RefFactor)
+				for _, gb := range ghost {
+					region := gb.Intersect(refined)
+					if region.Empty() {
+						continue
+					}
+					xfers = append(xfers, prolongXfer{
+						g: g, c: c,
+						region: region,
+						coarse: region.Coarsen(h.RefFactor),
+						tag:    tag,
+					})
+					tag++
+				}
+			}
+		}
+		for _, x := range xfers { // sends (and same-rank work) first
+			switch {
+			case x.c.Owner == me && x.g.Owner == me:
+				for _, f := range h.Fields {
+					grid.Prolong(x.g.Patch, x.c.Patch, f, h.RefFactor, x.region)
+				}
+			case x.c.Owner == me:
+				r.Send(x.g.Owner, x.tag, grid.PackRegion(x.c.Patch, x.coarse, h.Fields))
+			}
+		}
+		for _, x := range xfers { // then receives
+			if x.g.Owner != me || x.c.Owner == me {
+				continue
+			}
+			data := r.Recv(x.c.Owner, x.tag)
+			tmp := grid.NewPatch(x.coarse, level-1, 0, h.Fields...)
+			grid.UnpackRegion(tmp, x.coarse, h.Fields, data)
+			for _, f := range h.Fields {
+				grid.Prolong(x.g.Patch, tmp, f, h.RefFactor, x.region)
+			}
+		}
+		r.Barrier()
+	}
+
+	// Phase B: sibling overlap copies.
+	type siblingXfer struct {
+		dst, src *Grid
+		region   geom.Box
+		tag      int
+	}
+	var xfers []siblingXfer
+	tag := 1 << 20 // disjoint from phase-A tags
+	for _, g := range grids {
+		grown := g.Patch.Grown()
+		for _, s := range grids {
+			if s.ID == g.ID {
+				continue
+			}
+			region := grown.Intersect(s.Box)
+			if region.Empty() {
+				continue
+			}
+			xfers = append(xfers, siblingXfer{dst: g, src: s, region: region, tag: tag})
+			tag++
+		}
+	}
+	for _, x := range xfers {
+		switch {
+		case x.src.Owner == me && x.dst.Owner == me:
+			for _, f := range h.Fields {
+				grid.CopyRegion(x.dst.Patch, x.src.Patch, f, x.region)
+			}
+		case x.src.Owner == me:
+			r.Send(x.dst.Owner, x.tag, grid.PackRegion(x.src.Patch, x.region, h.Fields))
+		}
+	}
+	for _, x := range xfers {
+		if x.dst.Owner != me || x.src.Owner == me {
+			continue
+		}
+		grid.UnpackRegion(x.dst.Patch, x.region, h.Fields, r.Recv(x.src.Owner, x.tag))
+	}
+	r.Barrier()
+
+	// Phase C: physical-boundary clamp, purely local to each owner.
+	for _, g := range grids {
+		if g.Owner != me {
+			continue
+		}
+		grown := g.Patch.Grown()
+		grown.ForEach(func(i geom.Index) {
+			if dom.Contains(i) {
+				return
+			}
+			src := i.Max(dom.Lo).Min(dom.Hi).Max(g.Box.Lo).Min(g.Box.Hi)
+			for _, f := range h.Fields {
+				g.Patch.Set(f, i, g.Patch.At(f, src))
+			}
+		})
+	}
+	r.Barrier()
+}
+
+// RestrictMPX performs RestrictData's motion through the world: each
+// fine grid's owner restricts into a temporary coarse patch and ships
+// it to the parent's owner.
+func (h *Hierarchy) RestrictMPX(r *mpx.Rank, level int) {
+	if !h.WithData || level <= 0 {
+		return
+	}
+	me := r.ID()
+	type xfer struct {
+		g, p   *Grid
+		coarse geom.Box
+		tag    int
+	}
+	var xfers []xfer
+	tag := 0
+	for _, g := range h.Grids(level) {
+		p := h.Grid(g.Parent)
+		if p == nil || p.Patch == nil {
+			continue
+		}
+		xfers = append(xfers, xfer{g: g, p: p, coarse: g.Box.Coarsen(h.RefFactor), tag: tag})
+		tag++
+	}
+	for _, x := range xfers {
+		switch {
+		case x.g.Owner == me && x.p.Owner == me:
+			for _, f := range h.Fields {
+				grid.Restrict(x.p.Patch, x.g.Patch, f, h.RefFactor)
+			}
+		case x.g.Owner == me:
+			tmp := grid.NewPatch(x.coarse, level-1, 0, h.Fields...)
+			for _, f := range h.Fields {
+				grid.Restrict(tmp, x.g.Patch, f, h.RefFactor)
+			}
+			r.Send(x.p.Owner, x.tag, grid.PackRegion(tmp, x.coarse, h.Fields))
+		}
+	}
+	for _, x := range xfers {
+		if x.p.Owner != me || x.g.Owner == me {
+			continue
+		}
+		// Restrict writes only the parent's interior, as RestrictData
+		// does via grid.Restrict's overlap computation.
+		region := x.coarse.Intersect(x.p.Box)
+		tmp := grid.NewPatch(x.coarse, level-1, 0, h.Fields...)
+		grid.UnpackRegion(tmp, x.coarse, h.Fields, r.Recv(x.g.Owner, x.tag))
+		for _, f := range h.Fields {
+			grid.CopyRegion(x.p.Patch, tmp, f, region)
+		}
+	}
+	r.Barrier()
+}

@@ -1,0 +1,133 @@
+package amr
+
+import (
+	"math/rand"
+	"testing"
+
+	"samrdlb/internal/geom"
+	"samrdlb/internal/mpx"
+)
+
+// buildDataHierarchy makes a two-level hierarchy with random data,
+// grids spread over the given number of owners.
+func buildDataHierarchy(t *testing.T, owners int) *Hierarchy {
+	t.Helper()
+	h := New(geom.UnitCube(16), 2, 1, 1, true, "q", "rho")
+	rng := rand.New(rand.NewSource(99))
+	boxes := geom.BoxList{h.Domain}.SplitEvenly(8)
+	boxes.SortByLo()
+	for i, b := range boxes {
+		g := h.AddGrid(0, b, i%owners, NoGrid)
+		for _, f := range h.Fields {
+			g.Patch.FillFunc(f, func(geom.Index) float64 { return rng.Float64() })
+		}
+	}
+	// Fine grids covering a central region, split over two parents.
+	for _, p := range h.Grids(0) {
+		child := p.Box.Intersect(geom.BoxFromShape(geom.Index{4, 4, 4}, geom.Index{8, 8, 8}))
+		if child.Empty() {
+			continue
+		}
+		c := h.AddGrid(1, child.Refine(2), (p.Owner+1)%owners, p.ID)
+		for _, f := range h.Fields {
+			c.Patch.FillFunc(f, func(geom.Index) float64 { return rng.Float64() })
+		}
+	}
+	if err := h.CheckProperNesting(); err != nil {
+		t.Fatalf("bad fixture: %v", err)
+	}
+	return h
+}
+
+// cloneHierarchy deep-copies grids and data preserving IDs and owners.
+func cloneHierarchy(h *Hierarchy) *Hierarchy {
+	out := New(h.Domain, h.RefFactor, h.MaxLevel, h.NGhost, true, h.Fields...)
+	idMap := map[GridID]GridID{NoGrid: NoGrid}
+	for l := 0; l <= h.MaxLevel; l++ {
+		for _, g := range h.Grids(l) {
+			ng := out.AddGrid(l, g.Box, g.Owner, idMap[g.Parent])
+			idMap[g.ID] = ng.ID
+			for _, f := range h.Fields {
+				copy(ng.Patch.Field(f), g.Patch.Field(f))
+			}
+		}
+	}
+	return out
+}
+
+func assertSameData(t *testing.T, a, b *Hierarchy, context string) {
+	t.Helper()
+	for l := 0; l <= a.MaxLevel; l++ {
+		ga, gb := a.Grids(l), b.Grids(l)
+		if len(ga) != len(gb) {
+			t.Fatalf("%s: level %d grid counts differ", context, l)
+		}
+		for i := range ga {
+			for _, f := range a.Fields {
+				fa, fb := ga[i].Patch.Field(f), gb[i].Patch.Field(f)
+				for k := range fa {
+					if fa[k] != fb[k] {
+						t.Fatalf("%s: level %d grid %d field %s differs at %d: %v vs %v",
+							context, l, i, f, k, fa[k], fb[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFillGhostsMPXMatchesSequential(t *testing.T) {
+	for _, owners := range []int{1, 2, 4} {
+		seq := buildDataHierarchy(t, owners)
+		par := cloneHierarchy(seq)
+		for l := 0; l <= 1; l++ {
+			seq.FillGhostsData(l)
+		}
+		w := mpx.NewWorld(owners)
+		w.Run(func(r *mpx.Rank) {
+			for l := 0; l <= 1; l++ {
+				par.FillGhostsMPX(r, l)
+			}
+		})
+		assertSameData(t, seq, par, "ghosts")
+	}
+}
+
+func TestRestrictMPXMatchesSequential(t *testing.T) {
+	for _, owners := range []int{1, 3} {
+		seq := buildDataHierarchy(t, owners)
+		par := cloneHierarchy(seq)
+		seq.RestrictData(1)
+		w := mpx.NewWorld(owners)
+		w.Run(func(r *mpx.Rank) {
+			par.RestrictMPX(r, 1)
+		})
+		assertSameData(t, seq, par, "restrict")
+	}
+}
+
+func TestMPXDeterministicAcrossRuns(t *testing.T) {
+	a := buildDataHierarchy(t, 4)
+	b := cloneHierarchy(a)
+	run := func(h *Hierarchy) {
+		w := mpx.NewWorld(4)
+		w.Run(func(r *mpx.Rank) {
+			h.FillGhostsMPX(r, 0)
+			h.FillGhostsMPX(r, 1)
+			h.RestrictMPX(r, 1)
+		})
+	}
+	run(a)
+	run(b)
+	assertSameData(t, a, b, "determinism")
+}
+
+func TestMPXPlanOnlyIsNoop(t *testing.T) {
+	h := New(geom.UnitCube(8), 2, 1, 1, false, "q")
+	h.AddGrid(0, geom.UnitCube(8), 0, NoGrid)
+	w := mpx.NewWorld(2)
+	w.Run(func(r *mpx.Rank) {
+		h.FillGhostsMPX(r, 0) // must not panic on nil patches
+		h.RestrictMPX(r, 1)
+	})
+}

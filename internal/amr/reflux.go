@@ -1,0 +1,195 @@
+package amr
+
+import (
+	"samrdlb/internal/geom"
+	"samrdlb/internal/solver"
+)
+
+// Conservative flux correction ("refluxing", Berger–Colella): when a
+// fine level covers part of a coarse level, the coarse cells adjacent
+// to the coarse–fine interface were advanced with the coarse flux
+// through that interface, while the covered region was advanced (and
+// later restricted) with the more accurate fine fluxes. Conservation
+// requires replacing the coarse flux with the time- and area-averaged
+// fine flux:
+//
+//	q_C ← q_C ± ( (1/r³) Σ_{substeps × r² fine faces} F_fine − F_coarse )
+//
+// with the sign depending on which side of the interface the
+// uncovered coarse cell lies. The λ-scaled fluxes of both levels are
+// directly comparable because λ = dt/dx is the same at every level
+// under factor-r subcycling.
+
+// faceKey identifies a coarse face: the lower face of coarse cell I
+// in dimension D.
+type faceKey struct {
+	D int
+	I geom.Index
+}
+
+// faceEntry accumulates the two flux estimates for one interface face.
+type faceEntry struct {
+	// Cell is the uncovered coarse cell the correction applies to.
+	Cell geom.Index
+	// Sign is +1 when the face is Cell's lower face, −1 for upper.
+	Sign float64
+	// Coarse is the coarse flux captured during the coarse step.
+	Coarse float64
+	// FineSum accumulates (1/r³)·fine fluxes over the substeps.
+	FineSum float64
+	// seenCoarse marks that the coarse flux was recorded.
+	seenCoarse bool
+}
+
+// FluxRegister carries the coarse–fine interface bookkeeping for one
+// fine level over one coarse time step.
+type FluxRegister struct {
+	h         *Hierarchy
+	fineLevel int
+	faces     map[faceKey]*faceEntry
+}
+
+// NewFluxRegister identifies the coarse–fine interface of the given
+// fine level: every coarse face with a fine-covered cell on exactly
+// one side (both cells inside the domain).
+func NewFluxRegister(h *Hierarchy, fineLevel int) *FluxRegister {
+	if fineLevel <= 0 || fineLevel > h.MaxLevel {
+		panic("amr.NewFluxRegister: bad fine level")
+	}
+	fr := &FluxRegister{h: h, fineLevel: fineLevel, faces: make(map[faceKey]*faceEntry)}
+	covered := h.Boxes(fineLevel).Coarsen(h.RefFactor)
+	dom := h.DomainAt(fineLevel - 1)
+	for _, cb := range covered {
+		for d := 0; d < geom.Dims; d++ {
+			// Low side of the covered box: faces at plane cb.Lo[d];
+			// the uncovered neighbour is at i − e_d.
+			lowFaces := cb
+			lowFaces.Hi[d] = cb.Lo[d]
+			lowFaces.ForEach(func(i geom.Index) {
+				out := i
+				out[d]--
+				fr.addFace(d, i, out, +0, covered, dom)
+			})
+			// High side: faces at plane cb.Hi[d]+1 (lower faces of the
+			// cells just above); uncovered neighbour is that cell.
+			highFaces := cb
+			highFaces.Lo[d] = cb.Hi[d] + 1
+			highFaces.Hi[d] = cb.Hi[d] + 1
+			highFaces.ForEach(func(i geom.Index) {
+				fr.addFace(d, i, i, +0, covered, dom)
+			})
+		}
+	}
+	return fr
+}
+
+// addFace registers face (d,i) correcting coarse cell `cell` if the
+// cell is inside the domain and not itself covered by the fine level.
+func (fr *FluxRegister) addFace(d int, i, cell geom.Index, _ float64, covered geom.BoxList, dom geom.Box) {
+	if !dom.Contains(cell) || covered.Contains(cell) {
+		return
+	}
+	sign := -1.0 // face is cell's upper face (fine region above... below)
+	if cell == i {
+		sign = +1.0 // face is cell's lower face
+	}
+	fr.faces[faceKey{D: d, I: i}] = &faceEntry{Cell: cell, Sign: sign}
+}
+
+// NumFaces returns the number of interface faces tracked.
+func (fr *FluxRegister) NumFaces() int { return len(fr.faces) }
+
+// AddCoarse captures the coarse fluxes of one coarse grid's step at
+// the interface faces that lie within the grid.
+func (fr *FluxRegister) AddCoarse(g *Grid, fl *solver.Fluxes) {
+	if g.Level != fr.fineLevel-1 {
+		panic("amr.FluxRegister.AddCoarse: wrong level")
+	}
+	for key, e := range fr.faces {
+		if !fl.FaceBox(key.D).Contains(key.I) {
+			continue
+		}
+		// A face on a coarse-grid boundary exists in two grids'
+		// flux sets (as upper face of one, lower face of the next);
+		// both compute the same upwind flux, so first write wins.
+		if e.seenCoarse {
+			continue
+		}
+		// The face must be adjacent to this grid's interior.
+		lo := key.I
+		lo[key.D]--
+		if !g.Box.Contains(key.I) && !g.Box.Contains(lo) {
+			continue
+		}
+		e.Coarse = fl.At(key.D, key.I)
+		e.seenCoarse = true
+	}
+}
+
+// AddFine accumulates one fine grid's substep fluxes onto the
+// matching coarse faces, pre-scaled by 1/r³ (r² faces per coarse
+// face × r substeps).
+func (fr *FluxRegister) AddFine(g *Grid, fl *solver.Fluxes) {
+	if g.Level != fr.fineLevel {
+		panic("amr.FluxRegister.AddFine: wrong level")
+	}
+	r := fr.h.RefFactor
+	inv := 1.0 / float64(r*r*r)
+	for key, e := range fr.faces {
+		d := key.D
+		// Fine faces on this coarse face's plane.
+		plane := key.I[d] * r
+		fb := fl.FaceBox(d)
+		if plane < fb.Lo[d] || plane > fb.Hi[d] {
+			continue
+		}
+		var fineFace geom.Index
+		base := key.I.Scale(r)
+		for a := 0; a < r; a++ {
+			for b := 0; b < r; b++ {
+				fineFace = base
+				fineFace[d] = plane
+				switch d {
+				case 0:
+					fineFace[1] += a
+					fineFace[2] += b
+				case 1:
+					fineFace[0] += a
+					fineFace[2] += b
+				default:
+					fineFace[0] += a
+					fineFace[1] += b
+				}
+				if fb.Contains(fineFace) {
+					// Only faces on the fine grid's own boundary
+					// planes count; interior fine faces belong to
+					// fine–fine neighbours, not the interface.
+					if fineFace[d] == g.Box.Lo[d] || fineFace[d] == g.Box.Hi[d]+1 {
+						e.FineSum += inv * fl.At(d, fineFace)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Apply writes the corrections into the coarse patches.
+func (fr *FluxRegister) Apply() {
+	if !fr.h.WithData {
+		return
+	}
+	coarse := fr.h.Grids(fr.fineLevel - 1)
+	for _, e := range fr.faces {
+		if !e.seenCoarse {
+			continue
+		}
+		corr := e.Sign * (e.FineSum - e.Coarse)
+		for _, g := range coarse {
+			if g.Box.Contains(e.Cell) {
+				q := g.Patch.Field(solver.FieldQ)
+				q[g.Patch.Grown().Offset(e.Cell)] += corr
+				break
+			}
+		}
+	}
+}

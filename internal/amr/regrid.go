@@ -1,0 +1,191 @@
+package amr
+
+import (
+	"samrdlb/internal/cluster"
+	"samrdlb/internal/geom"
+	"samrdlb/internal/grid"
+)
+
+// RegridParams controls hierarchy reconstruction.
+type RegridParams struct {
+	// Cluster are the Berger–Rigoutsos parameters.
+	Cluster cluster.Params
+	// Buffer expands every flagged cell by this Chebyshev radius
+	// before clustering, so features stay inside their fine grids for
+	// a few steps between regrids.
+	Buffer int
+	// Coalesce merges adjacent child pieces of the same parent into
+	// single grids, trading fewer (larger) grids against balancing
+	// granularity.
+	Coalesce bool
+}
+
+// DefaultRegridParams returns typical SAMR regrid settings.
+func DefaultRegridParams() RegridParams {
+	return RegridParams{Cluster: cluster.DefaultParams(), Buffer: 1}
+}
+
+// Flagger marks the level-l cells needing refinement. The flag field
+// spans the bounding box of level l's grids; implementations flag via
+// f.Set / f.SetWhere and may consult the hierarchy's patch data.
+type Flagger func(level int, f *cluster.FlagField)
+
+// Placer chooses the owning processor for a newly created child grid.
+// The distributed DLB places children in the parent's group; the
+// parallel DLB spreads them over all processors.
+type Placer func(childBox geom.Box, parent *Grid) int
+
+// RegridAll rebuilds every level deeper than base: flags are gathered
+// on each level in turn, clustered into boxes, intersected with the
+// existing level's grids (enforcing proper nesting), refined, and
+// instantiated as new child grids. Field data on new grids is
+// initialised by prolongation from the coarse level and then
+// overwritten with any old same-level data that overlaps, so the
+// solution survives regridding. It returns the number of grids
+// created.
+func (h *Hierarchy) RegridAll(base int, flag Flagger, p RegridParams, place Placer) int {
+	// Capture old fine grids for data copy before destroying them.
+	old := make(map[int][]*Grid)
+	for l := base + 1; l <= h.MaxLevel; l++ {
+		old[l] = append([]*Grid(nil), h.Grids(l)...)
+	}
+	h.ClearLevelsFrom(base + 1)
+
+	created := 0
+	for l := base; l < h.MaxLevel; l++ {
+		if len(h.Grids(l)) == 0 {
+			break
+		}
+		f := h.FlagFieldFor(l)
+		if f == nil {
+			break
+		}
+		flag(l, f)
+		if f.Count() == 0 {
+			break
+		}
+		buffered := bufferFlags(f, p.Buffer)
+		boxes := cluster.Cluster(buffered, p.Cluster)
+		madeAny := false
+		for _, parent := range h.Grids(l) {
+			var pieces geom.BoxList
+			for _, b := range boxes {
+				if piece := b.Intersect(parent.Box); !piece.Empty() {
+					pieces = append(pieces, piece)
+				}
+			}
+			if p.Coalesce {
+				pieces = pieces.Coalesce()
+				pieces.SortByLo()
+			}
+			for _, piece := range pieces {
+				childBox := piece.Refine(h.RefFactor)
+				owner := parent.Owner
+				if place != nil {
+					owner = place(childBox, parent)
+				}
+				child := h.AddGrid(l+1, childBox, owner, parent.ID)
+				created++
+				madeAny = true
+				if h.WithData {
+					h.initChildData(child, parent, old[l+1])
+				}
+			}
+		}
+		if !madeAny {
+			break
+		}
+		h.SortLevel(l + 1)
+	}
+	return created
+}
+
+// initChildData fills a new child grid by prolongation from every
+// overlapping coarse grid, then copies old same-level data where it
+// exists (the old solution is more accurate than prolonged data).
+func (h *Hierarchy) initChildData(child, parent *Grid, oldSameLevel []*Grid) {
+	grown := child.Patch.Grown()
+	for _, coarse := range h.Grids(parent.Level) {
+		if coarse.Patch == nil {
+			continue
+		}
+		region := grown.Intersect(coarse.Box.Refine(h.RefFactor))
+		if region.Empty() {
+			continue
+		}
+		for _, f := range h.Fields {
+			grid.Prolong(child.Patch, coarse.Patch, f, h.RefFactor, region)
+		}
+	}
+	for _, og := range oldSameLevel {
+		if og.Patch == nil {
+			continue
+		}
+		region := grown.Intersect(og.Box)
+		if region.Empty() {
+			continue
+		}
+		for _, f := range h.Fields {
+			grid.CopyRegion(child.Patch, og.Patch, f, region)
+		}
+	}
+}
+
+// bufferFlags returns a flag field where every flag of f is expanded
+// by the given Chebyshev radius (clipped to f's box).
+func bufferFlags(f *cluster.FlagField, radius int) *cluster.FlagField {
+	if radius <= 0 {
+		return f
+	}
+	out := cluster.NewFlagField(f.Box)
+	f.Box.ForEach(func(i geom.Index) {
+		if !f.Get(i) {
+			return
+		}
+		nb := geom.Box{
+			Lo: i.Sub(geom.Index{radius, radius, radius}),
+			Hi: i.Add(geom.Index{radius, radius, radius}),
+		}.Intersect(f.Box)
+		nb.ForEach(out.Set)
+	})
+	return out
+}
+
+// FlagWhereGradient flags every level-l cell whose solution gradient
+// (max absolute one-sided difference of the named field over the
+// three dimensions) exceeds the threshold — data-driven refinement,
+// the criterion production SAMR codes use, as an alternative to the
+// geometric schedules of the workload drivers. Only data-carrying
+// hierarchies can use it.
+func (h *Hierarchy) FlagWhereGradient(level int, field string, threshold float64, f *cluster.FlagField) {
+	if !h.WithData {
+		panic("amr.FlagWhereGradient: needs field data")
+	}
+	for _, g := range h.Grids(level) {
+		q := g.Patch.Field(field)
+		gb := g.Patch.Grown()
+		s := gb.Shape()
+		stride := [3]int{1, s[0], s[0] * s[1]}
+		g.Box.ForEach(func(i geom.Index) {
+			off := gb.Offset(i)
+			for d := 0; d < 3; d++ {
+				dv := q[off+stride[d]] - q[off]
+				if dv < 0 {
+					dv = -dv
+				}
+				if dv > threshold {
+					f.Set(i)
+					return
+				}
+				dv = q[off] - q[off-stride[d]]
+				if dv < 0 {
+					dv = -dv
+				}
+				if dv > threshold {
+					f.Set(i)
+					return
+				}
+			}
+		})
+	}
+}

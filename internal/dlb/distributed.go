@@ -1,0 +1,310 @@
+package dlb
+
+import (
+	"math"
+	"sort"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/geom"
+	"samrdlb/internal/load"
+)
+
+// DistributedDLB is the paper's scheme for distributed systems. Its
+// behaviour, following Section 4:
+//
+//   - Local phase: after each time step at a finer level, each group
+//     evenly redistributes that level's grids among its own
+//     processors only. Children stay in their parent's group, so
+//     parent–child communication never crosses the WAN.
+//
+//   - Global phase: after each time step at level 0, the groups'
+//     iteration-weighted workloads (Eqs. 2–3) are compared. If the
+//     normalised imbalance exceeds the trigger, the scheme probes the
+//     inter-group link with two messages (recovering α and β),
+//     estimates the redistribution cost (Eq. 1) and the computational
+//     gain (Eq. 4), and redistributes level-0 grids from the
+//     overloaded to the underloaded group only when Gain > γ·Cost.
+//     The amount moved is the paper's boundary shift:
+//     (W_A − W_B) / (2·W_A) of A's level-0 cells, taken from the
+//     grids nearest the receiving group's region, splitting a grid
+//     when a whole one would overshoot.
+type DistributedDLB struct{}
+
+// Name implements Balancer.
+func (DistributedDLB) Name() string { return "distributed-dlb" }
+
+// PlaceChild implements Balancer: children go to the least-loaded
+// processor of the parent's group, keeping parent–child communication
+// local.
+func (DistributedDLB) PlaceChild(ctx *Context, childBox geom.Box, parent *amr.Grid) int {
+	group := ctx.Sys.GroupOf(parent.Owner)
+	procs := sortedCopy(ctx.Sys.ProcsInGroup(group))
+	return leastLoadedProc(ctx, procs, parent.Level+1)
+}
+
+// LocalBalance implements Balancer: per-group even redistribution.
+// "An overloaded processor can migrate its workload to an underloaded
+// processor of the same group only."
+func (DistributedDLB) LocalBalance(ctx *Context, level int) []Migration {
+	var out []Migration
+	for g := 0; g < ctx.Sys.NumGroups(); g++ {
+		out = append(out, balanceOver(ctx, level, sortedCopy(ctx.Sys.ProcsInGroup(g)))...)
+	}
+	return out
+}
+
+// GlobalBalance implements Balancer (the flowchart of Fig. 4, left
+// column).
+func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
+	var d GlobalDecision
+	sys := ctx.Sys
+	if sys.NumGroups() < 2 {
+		// Degenerate distributed system: only the local phase exists.
+		d.Migrations = balanceOver(ctx, 0, allProcs(ctx))
+		for _, m := range d.Migrations {
+			d.MovedBytes += m.Bytes
+		}
+		d.Invoked = len(d.Migrations) > 0
+		return d
+	}
+
+	// "imbalance exist?"
+	if ctx.Load.ImbalanceRatio(sys) <= 1+ctx.imbalanceEps() {
+		return d
+	}
+	d.Evaluated = true
+
+	// Identify the overloaded (donor) and underloaded (receiver)
+	// groups by perf-normalised workload.
+	works := ctx.Load.GroupWorks(sys)
+	donor, recv := 0, 0
+	maxN, minN := math.Inf(-1), math.Inf(1)
+	for g, w := range works {
+		n := w / sys.GroupPerf(g)
+		if n > maxN {
+			maxN, donor = n, g
+		}
+		if n < minN {
+			minN, recv = n, g
+		}
+	}
+	if donor == recv || maxN <= 0 {
+		return d
+	}
+
+	// The boundary-shift amount (Fig. 6): a fraction
+	// (W_A − W_B) / (2·W_A) of the donor's workload, using
+	// perf-normalised works so the formula extends to heterogeneous
+	// groups (it reduces to the paper's for equal performance). The
+	// workload of a level-0 grid includes its whole subtree with
+	// Eq. 3's iteration weighting — a level-0 grid whose region holds
+	// deep refinement carries far more work than its own cells.
+	frac := (maxN - minN) / (2 * maxN)
+	donorWork := groupSubtreeWork(ctx, donor)
+	moveWork := frac * donorWork
+	if moveWork < 1 {
+		return d
+	}
+	// The transferred bytes are the level-0 share of the moved work
+	// (only level-0 grids migrate; finer grids are rebuilt from them).
+	donorCells := groupLevel0Cells(ctx, donor)
+	moveBytes := int64(frac*float64(donorCells)) * int64(len(ctx.H.Fields)) * 8
+	if moveBytes < 8 {
+		moveBytes = 8
+	}
+
+	// Probe the link between the two groups: two messages yield α̂, β̂
+	// under the network's *current* background traffic.
+	link := sys.Net.Between(donor, recv)
+	alphaHat, betaHat, probeT := link.Probe(ctx.now())
+	d.ProbeTime = probeT
+
+	// With NWS-style forecasting enabled, the probe feeds the
+	// measurement history and the smoothed prediction replaces the
+	// instantaneous values in the cost model.
+	if ctx.Forecast != nil {
+		lf := ctx.Forecast.For(link)
+		lf.Record(alphaHat, betaHat)
+		if a, b, ok := lf.Forecast(); ok {
+			alphaHat, betaHat = a, b
+		}
+	}
+
+	d.Gain = ctx.Load.Gain(sys)
+	d.Cost = load.Cost(alphaHat, betaHat, float64(moveBytes), ctx.Load.Delta())
+	if d.Gain <= ctx.gamma()*d.Cost {
+		return d
+	}
+
+	// Perform the redistribution: move level-0 grids nearest the
+	// receiving group's region, splitting the last grid to match.
+	d.Invoked = true
+	d.Migrations = moveLevel0(ctx, donor, recv, moveWork)
+	for _, m := range d.Migrations {
+		d.MovedBytes += m.Bytes
+	}
+	return d
+}
+
+// groupLevel0Cells returns the donor group's W^0: total level-0 cells
+// owned by its processors.
+func groupLevel0Cells(ctx *Context, group int) int64 {
+	var n int64
+	for _, g := range ctx.H.Grids(0) {
+		if ctx.Sys.GroupOf(g.Owner) == group {
+			n += g.NumCells()
+		}
+	}
+	return n
+}
+
+// subtreeWork returns the iteration-weighted workload of a grid and
+// all its descendants: a level-l cell advances r^l times per level-0
+// step (Eq. 3's N^i_iter weighting for fully subcycled levels).
+func subtreeWork(ctx *Context, g *amr.Grid) float64 {
+	iters := 1.0
+	for l := 0; l < g.Level; l++ {
+		iters *= float64(ctx.H.RefFactor)
+	}
+	w := float64(g.NumCells()) * iters
+	for _, c := range ctx.H.Children(g) {
+		w += subtreeWork(ctx, c)
+	}
+	return w
+}
+
+// groupSubtreeWork sums subtreeWork over the group's level-0 grids.
+func groupSubtreeWork(ctx *Context, group int) float64 {
+	var w float64
+	for _, g := range ctx.H.Grids(0) {
+		if ctx.Sys.GroupOf(g.Owner) == group {
+			w += subtreeWork(ctx, g)
+		}
+	}
+	return w
+}
+
+// moveLevel0 migrates level-0 grids carrying approximately moveWork
+// iteration-weighted work from the donor group to the receiver group,
+// nearest-to-receiver first, splitting one grid if a whole grid would
+// overshoot by more than a quarter of its work.
+func moveLevel0(ctx *Context, donor, recv int, moveWork float64) []Migration {
+	target := receiverCentroid(ctx, recv)
+	var donorGrids []*amr.Grid
+	for _, g := range ctx.H.Grids(0) {
+		if ctx.Sys.GroupOf(g.Owner) == donor {
+			donorGrids = append(donorGrids, g)
+		}
+	}
+	sort.Slice(donorGrids, func(i, j int) bool {
+		di := dist2(boxCentroid(donorGrids[i].Box), target)
+		dj := dist2(boxCentroid(donorGrids[j].Box), target)
+		if di != dj {
+			return di < dj
+		}
+		return donorGrids[i].ID < donorGrids[j].ID
+	})
+
+	recvProcs := sortedCopy(ctx.Sys.ProcsInGroup(recv))
+	numFields := len(ctx.H.Fields)
+	var out []Migration
+	remaining := moveWork
+	for _, g := range donorGrids {
+		if remaining <= 0 {
+			break
+		}
+		work := subtreeWork(ctx, g)
+		if work <= remaining*1.25 {
+			// Move the whole grid.
+			from := g.Owner
+			g.Owner = leastLoadedProc(ctx, recvProcs, 0)
+			out = append(out, Migration{Grid: g.ID, From: from, To: g.Owner, Bytes: g.Bytes(numFields)})
+			remaining -= work
+			continue
+		}
+		// The grid carries much more work than remains to move: split
+		// it and move the piece facing the receiver (the paper's
+		// "moving the groups' boundaries slightly").
+		piece := splitTowards(ctx, g, remaining/work, target)
+		if piece == nil {
+			break
+		}
+		from := piece.Owner
+		piece.Owner = leastLoadedProc(ctx, recvProcs, 0)
+		out = append(out, Migration{Grid: piece.ID, From: from, To: piece.Owner, Bytes: piece.Bytes(numFields)})
+		break
+	}
+	return out
+}
+
+// splitTowards splits grid g so that the piece nearer `target` holds
+// about `frac` of the grid, and returns that piece (nil when the grid
+// cannot be split).
+func splitTowards(ctx *Context, g *amr.Grid, frac float64, target [3]float64) *amr.Grid {
+	shape := g.Box.Shape()
+	d := shape.MaxDim()
+	if shape[d] < 2 {
+		return nil
+	}
+	planes := int(frac*float64(shape[d]) + 0.5)
+	if planes < 1 {
+		planes = 1
+	}
+	if planes >= shape[d] {
+		planes = shape[d] - 1
+	}
+	c := boxCentroid(g.Box)
+	var lo, hi *amr.Grid
+	if target[d] <= c[d] {
+		// Receiver is on the low side: moved piece = low planes.
+		lo, hi = ctx.H.SplitGrid(g, d, g.Box.Lo[d]+planes)
+		_ = hi
+		return lo
+	}
+	lo, hi = ctx.H.SplitGrid(g, d, g.Box.Hi[d]+1-planes)
+	_ = lo
+	return hi
+}
+
+// receiverCentroid returns the cell-weighted centroid of the
+// receiving group's level-0 grids, or the domain centroid when the
+// group owns nothing yet.
+func receiverCentroid(ctx *Context, recv int) [3]float64 {
+	var sum [3]float64
+	var cells float64
+	for _, g := range ctx.H.Grids(0) {
+		if ctx.Sys.GroupOf(g.Owner) != recv {
+			continue
+		}
+		c := boxCentroid(g.Box)
+		w := float64(g.NumCells())
+		for d := 0; d < 3; d++ {
+			sum[d] += c[d] * w
+		}
+		cells += w
+	}
+	if cells == 0 {
+		return boxCentroid(ctx.H.Domain)
+	}
+	for d := 0; d < 3; d++ {
+		sum[d] /= cells
+	}
+	return sum
+}
+
+func boxCentroid(b geom.Box) [3]float64 {
+	return [3]float64{
+		float64(b.Lo[0]+b.Hi[0]) / 2,
+		float64(b.Lo[1]+b.Hi[1]) / 2,
+		float64(b.Lo[2]+b.Hi[2]) / 2,
+	}
+}
+
+func dist2(a, b [3]float64) float64 {
+	var s float64
+	for d := 0; d < 3; d++ {
+		v := a[d] - b[d]
+		s += v * v
+	}
+	return s
+}

@@ -1,0 +1,292 @@
+// Package dlb implements the paper's two dynamic load balancers:
+//
+//   - ParallelDLB — the baseline scheme from Lan et al. (ICPP 2001),
+//     designed for homogeneous parallel machines: after each time step
+//     at every level, the level's grids are evenly redistributed over
+//     *all* processors, ignoring group structure and network
+//     heterogeneity.
+//
+//   - DistributedDLB — the paper's contribution: balancing is split
+//     into a local phase (within each group, after every finer-level
+//     step) and a global phase (between groups, evaluated only after
+//     each level-0 step and invoked only when the heuristic gain
+//     exceeds γ times the measured redistribution cost). Children are
+//     always placed in their parent's group, eliminating remote
+//     parent–child communication.
+//
+// Both balancers operate on the amr.Hierarchy's ownership fields and
+// report the migrations they perform; the engine charges virtual time
+// for the implied data motion.
+package dlb
+
+import (
+	"math"
+	"sort"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/geom"
+	"samrdlb/internal/load"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/netsim"
+)
+
+// Context is the state a balancer works against.
+type Context struct {
+	Sys  *machine.System
+	H    *amr.Hierarchy
+	Load *load.Recorder
+	// Now returns the current virtual time, needed to probe links
+	// whose background traffic varies.
+	Now func() float64
+	// Gamma is the γ threshold of Section 4.4 (default 2.0): global
+	// redistribution runs only when Gain > γ·Cost.
+	Gamma float64
+	// ImbalanceEps is the trigger for the "imbalance exists?" test: the
+	// gain/cost evaluation runs when the groups' normalised load ratio
+	// exceeds 1+ImbalanceEps (default 0.05).
+	ImbalanceEps float64
+	// Forecast, when non-nil, smooths probe measurements NWS-style
+	// before they enter the cost model — the integration the paper
+	// lists as future work ("connect this proposed DLB scheme with
+	// tools such as the NWS service"). Raw probes are still taken and
+	// recorded; the forecast replaces them in Eq. 1.
+	Forecast *netsim.ForecastSet
+}
+
+// DefaultGamma is the paper's default γ.
+const DefaultGamma = 2.0
+
+// DefaultImbalanceEps is the default imbalance trigger.
+const DefaultImbalanceEps = 0.05
+
+func (c *Context) gamma() float64 {
+	if c.Gamma <= 0 {
+		return DefaultGamma
+	}
+	return c.Gamma
+}
+
+func (c *Context) imbalanceEps() float64 {
+	if c.ImbalanceEps <= 0 {
+		return DefaultImbalanceEps
+	}
+	return c.ImbalanceEps
+}
+
+func (c *Context) now() float64 {
+	if c.Now == nil {
+		return 0
+	}
+	return c.Now()
+}
+
+// Migration records one grid changing owner.
+type Migration struct {
+	Grid     amr.GridID
+	From, To int
+	Bytes    int64
+}
+
+// GlobalDecision reports what the global phase did after a level-0
+// step.
+type GlobalDecision struct {
+	// Evaluated is true when imbalance triggered the gain/cost check.
+	Evaluated bool
+	// Gain and Cost are the heuristic estimates (Eqs. 1–4); valid when
+	// Evaluated.
+	Gain, Cost float64
+	// ProbeTime is the wall time consumed measuring α and β.
+	ProbeTime float64
+	// Invoked is true when redistribution was actually performed.
+	Invoked bool
+	// Migrations lists the level-0 grids moved between groups.
+	Migrations []Migration
+	// MovedBytes is the total migrated volume.
+	MovedBytes int64
+}
+
+// Balancer is a dynamic load-balancing scheme driven by the SAMR
+// integration loop at the points of the paper's Figure 5.
+type Balancer interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// PlaceChild chooses the owner for a newly created child grid.
+	PlaceChild(ctx *Context, childBox geom.Box, parent *amr.Grid) int
+	// LocalBalance rebalances level l after one of its time steps and
+	// returns the migrations performed.
+	LocalBalance(ctx *Context, level int) []Migration
+	// GlobalBalance runs after each level-0 time step.
+	GlobalBalance(ctx *Context) GlobalDecision
+}
+
+// levelWork returns each processor's cell count at the given level.
+func levelWork(ctx *Context, level int) []float64 {
+	w := make([]float64, ctx.Sys.NumProcs())
+	for _, g := range ctx.H.Grids(level) {
+		w[g.Owner] += float64(g.NumCells())
+	}
+	return w
+}
+
+// balanceOver evenly redistributes level-l grids over the processors
+// in procs, proportionally to their performance weights. Grids move
+// from the most-overloaded processor to the most-underloaded until no
+// move improves the imbalance. Returns the migrations.
+func balanceOver(ctx *Context, level int, procs []int) []Migration {
+	grids := ctx.H.Grids(level)
+	if len(grids) == 0 || len(procs) < 2 {
+		return nil
+	}
+	inSet := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		inSet[p] = true
+	}
+	// Normalised load = cells / perf.
+	loadOf := make(map[int]float64, len(procs))
+	var perfSum, total float64
+	for _, p := range procs {
+		perfSum += ctx.Sys.Perf(p)
+	}
+	byOwner := make(map[int][]*amr.Grid)
+	for _, g := range grids {
+		if !inSet[g.Owner] {
+			continue
+		}
+		loadOf[g.Owner] += float64(g.NumCells())
+		total += float64(g.NumCells())
+		byOwner[g.Owner] = append(byOwner[g.Owner], g)
+	}
+	if total == 0 {
+		return nil
+	}
+	var out []Migration
+	for iter := 0; iter < 16*len(grids); iter++ {
+		src, dst := extremeProcs(ctx, procs, loadOf)
+		if src == dst {
+			break
+		}
+		// Target loads proportional to perf; how much src should shed.
+		srcTarget := total * ctx.Sys.Perf(src) / perfSum
+		dstTarget := total * ctx.Sys.Perf(dst) / perfSum
+		surplus := loadOf[src] - srcTarget
+		deficit := dstTarget - loadOf[dst]
+		budget := math.Min(surplus, deficit)
+		if budget <= 0 {
+			break
+		}
+		// Move the largest grid not exceeding the budget, or the
+		// smallest grid if every grid exceeds it but moving it still
+		// reduces the max-min spread.
+		g := pickGrid(byOwner[src], budget)
+		if g == nil {
+			break
+		}
+		cells := float64(g.NumCells())
+		if cells > budget {
+			// Moving would overshoot; only do it if it still improves.
+			newSpread := math.Abs((loadOf[dst] + cells) - (loadOf[src] - cells))
+			oldSpread := loadOf[src] - loadOf[dst]
+			if newSpread >= oldSpread {
+				break
+			}
+		}
+		migrate(ctx, g, dst, &out, byOwner, loadOf)
+	}
+	return out
+}
+
+// extremeProcs returns the most overloaded and most underloaded
+// processors (by perf-normalised load) of the set.
+func extremeProcs(ctx *Context, procs []int, loadOf map[int]float64) (src, dst int) {
+	src, dst = procs[0], procs[0]
+	maxN, minN := math.Inf(-1), math.Inf(1)
+	for _, p := range procs {
+		n := loadOf[p] / ctx.Sys.Perf(p)
+		if n > maxN {
+			maxN, src = n, p
+		}
+		if n < minN {
+			minN, dst = n, p
+		}
+	}
+	return src, dst
+}
+
+// pickGrid returns the largest grid with at most `budget` cells, or
+// the overall smallest grid when none fits.
+func pickGrid(grids []*amr.Grid, budget float64) *amr.Grid {
+	var best, smallest *amr.Grid
+	for _, g := range grids {
+		c := float64(g.NumCells())
+		if smallest == nil || c < float64(smallest.NumCells()) {
+			smallest = g
+		}
+		if c <= budget && (best == nil || c > float64(best.NumCells())) {
+			best = g
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return smallest
+}
+
+func migrate(ctx *Context, g *amr.Grid, to int, out *[]Migration, byOwner map[int][]*amr.Grid, loadOf map[int]float64) {
+	from := g.Owner
+	cells := float64(g.NumCells())
+	// Remove from source list.
+	lst := byOwner[from]
+	for i, x := range lst {
+		if x.ID == g.ID {
+			byOwner[from] = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	g.Owner = to
+	byOwner[to] = append(byOwner[to], g)
+	loadOf[from] -= cells
+	loadOf[to] += cells
+	*out = append(*out, Migration{
+		Grid: g.ID, From: from, To: to,
+		Bytes: g.Bytes(len(ctx.H.Fields)),
+	})
+}
+
+// leastLoadedProc returns the processor of the set with the smallest
+// perf-normalised cell count at the given level.
+func leastLoadedProc(ctx *Context, procs []int, level int) int {
+	w := levelWork(ctx, level)
+	best, bestN := procs[0], math.Inf(1)
+	for _, p := range procs {
+		n := w[p] / ctx.Sys.Perf(p)
+		if n < bestN {
+			best, bestN = p, n
+		}
+	}
+	return best
+}
+
+// Imbalance returns (max-min)/max over the given loads (0 when all
+// zero): a scale-free measure used in tests and reports.
+func Imbalance(works []float64) float64 {
+	if len(works) == 0 {
+		return 0
+	}
+	maxW, minW := works[0], works[0]
+	for _, w := range works[1:] {
+		maxW = math.Max(maxW, w)
+		minW = math.Min(minW, w)
+	}
+	if maxW <= 0 {
+		return 0
+	}
+	return (maxW - minW) / maxW
+}
+
+// sortedCopy returns procs sorted ascending (stable iteration order
+// for deterministic balancing).
+func sortedCopy(procs []int) []int {
+	out := append([]int(nil), procs...)
+	sort.Ints(out)
+	return out
+}

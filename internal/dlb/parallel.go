@@ -1,0 +1,56 @@
+package dlb
+
+import (
+	"samrdlb/internal/amr"
+	"samrdlb/internal/geom"
+)
+
+// ParallelDLB is the baseline scheme (Lan, Taylor, Bryan; ICPP 2001),
+// designed for homogeneous parallel systems: each level's workload is
+// "evenly and equally distributed among the processors" — all of
+// them, regardless of groups, networks, or traffic. On a distributed
+// system this spreads children across machines and pays remote
+// parent–child and sibling communication on every fine step, which is
+// exactly the overhead the paper measures in Figure 3.
+type ParallelDLB struct{}
+
+// Name implements Balancer.
+func (ParallelDLB) Name() string { return "parallel-dlb" }
+
+// PlaceChild implements Balancer: children go to the least-loaded
+// processor of the whole system.
+func (ParallelDLB) PlaceChild(ctx *Context, childBox geom.Box, parent *amr.Grid) int {
+	procs := allProcs(ctx)
+	return leastLoadedProc(ctx, procs, parent.Level+1)
+}
+
+// LocalBalance implements Balancer: even redistribution over all
+// processors after every step at every level.
+func (ParallelDLB) LocalBalance(ctx *Context, level int) []Migration {
+	return balanceOver(ctx, level, allProcs(ctx))
+}
+
+// GlobalBalance implements Balancer: the parallel scheme has no
+// separate global phase; it simply rebalances level 0 over all
+// processors, oblivious to group boundaries and network state.
+func (ParallelDLB) GlobalBalance(ctx *Context) GlobalDecision {
+	migs := balanceOver(ctx, 0, allProcs(ctx))
+	var bytes int64
+	for _, m := range migs {
+		bytes += m.Bytes
+	}
+	return GlobalDecision{
+		Evaluated:  false,
+		Invoked:    len(migs) > 0,
+		Migrations: migs,
+		MovedBytes: bytes,
+	}
+}
+
+func allProcs(ctx *Context) []int {
+	procs := make([]int, ctx.Sys.NumProcs())
+	for i := range procs {
+		procs[i] = i
+	}
+	return procs
+}

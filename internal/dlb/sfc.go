@@ -1,0 +1,110 @@
+package dlb
+
+import (
+	"sort"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/geom"
+)
+
+// SFCDLB is a locality-preserving variant of the distributed scheme:
+// its local phase partitions each group's grids along a Morton
+// (Z-order) space-filling curve into contiguous, performance-weighted
+// runs, instead of greedily migrating grids between load extremes.
+// Contiguous curve runs are spatially compact, so neighbouring grids
+// tend to share a processor and the sibling exchange stays local —
+// the partitioning style later AMR frameworks adopted. Placement and
+// the global phase are inherited from DistributedDLB, so the
+// comparison against the paper's scheme isolates the local-phase
+// policy.
+type SFCDLB struct{}
+
+// Name implements Balancer.
+func (SFCDLB) Name() string { return "sfc-dlb" }
+
+// PlaceChild implements Balancer (same policy as the distributed
+// scheme: children stay in the parent's group).
+func (SFCDLB) PlaceChild(ctx *Context, childBox geom.Box, parent *amr.Grid) int {
+	return DistributedDLB{}.PlaceChild(ctx, childBox, parent)
+}
+
+// GlobalBalance implements Balancer via the paper's global phase.
+func (SFCDLB) GlobalBalance(ctx *Context) GlobalDecision {
+	return DistributedDLB{}.GlobalBalance(ctx)
+}
+
+// LocalBalance implements Balancer: within each group, grids at the
+// level are sorted by the Morton key of their centroid and dealt out
+// as contiguous runs sized proportionally to processor performance.
+func (SFCDLB) LocalBalance(ctx *Context, level int) []Migration {
+	var out []Migration
+	for g := 0; g < ctx.Sys.NumGroups(); g++ {
+		out = append(out, sfcPartition(ctx, level, sortedCopy(ctx.Sys.ProcsInGroup(g)))...)
+	}
+	return out
+}
+
+// sfcPartition assigns the procs' grids at the level along the curve.
+func sfcPartition(ctx *Context, level int, procs []int) []Migration {
+	if len(procs) < 2 {
+		return nil
+	}
+	inSet := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		inSet[p] = true
+	}
+	var grids []*amr.Grid
+	var total float64
+	for _, g := range ctx.H.Grids(level) {
+		if inSet[g.Owner] {
+			grids = append(grids, g)
+			total += float64(g.NumCells())
+		}
+	}
+	if len(grids) == 0 {
+		return nil
+	}
+	sort.Slice(grids, func(i, j int) bool {
+		ki := mortonOf(grids[i].Box)
+		kj := mortonOf(grids[j].Box)
+		if ki != kj {
+			return ki < kj
+		}
+		return grids[i].ID < grids[j].ID
+	})
+	var perfSum float64
+	for _, p := range procs {
+		perfSum += ctx.Sys.Perf(p)
+	}
+	var out []Migration
+	var assigned, cumPerf float64
+	pi := 0
+	numFields := len(ctx.H.Fields)
+	for _, g := range grids {
+		// Advance to the next processor once this one holds its
+		// perf-proportional share of the curve.
+		for pi < len(procs)-1 {
+			cumPerf = 0
+			for k := 0; k <= pi; k++ {
+				cumPerf += ctx.Sys.Perf(procs[k])
+			}
+			if assigned < total*cumPerf/perfSum {
+				break
+			}
+			pi++
+		}
+		target := procs[pi]
+		if g.Owner != target {
+			out = append(out, Migration{Grid: g.ID, From: g.Owner, To: target, Bytes: g.Bytes(numFields)})
+			g.Owner = target
+		}
+		assigned += float64(g.NumCells())
+	}
+	return out
+}
+
+// mortonOf returns the Morton key of a box's centroid (doubled to
+// stay integral).
+func mortonOf(b geom.Box) uint64 {
+	return b.Lo.Add(b.Hi).MortonKey()
+}

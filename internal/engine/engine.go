@@ -1,0 +1,643 @@
+// Package engine executes a SAMR application on a modelled
+// distributed system, implementing the control flow of the paper's
+// Figure 4: recursive subcycled integration over the grid hierarchy,
+// local load balancing after each finer-level time step, and the
+// global imbalance check — probe, gain/cost evaluation, possible
+// redistribution — after each level-0 time step.
+//
+// Time accounting is bulk-synchronous virtual time (package vclock):
+// each level step charges per-processor compute time (cells × kernel
+// flops / processor speed) and per-link communication time
+// (Tcomm = α + β_eff·L over the ghost-exchange plan, aggregated per
+// processor pair). The numerics themselves are real: when Options
+// .WithData is set, patch kernels genuinely advance the solution, in
+// parallel across host cores.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/cluster"
+	"samrdlb/internal/dlb"
+	"samrdlb/internal/geom"
+	"samrdlb/internal/load"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/metrics"
+	"samrdlb/internal/mpx"
+	"samrdlb/internal/netsim"
+	"samrdlb/internal/solver"
+	"samrdlb/internal/trace"
+	"samrdlb/internal/vclock"
+	"samrdlb/internal/workload"
+)
+
+// Options configures a run.
+type Options struct {
+	// Steps is the number of level-0 time steps.
+	Steps int
+	// Balancer is the DLB scheme under test.
+	Balancer dlb.Balancer
+	// Gamma is the γ threshold (0 = paper default 2.0).
+	Gamma float64
+	// ImbalanceEps is the imbalance trigger (0 = default 0.05).
+	ImbalanceEps float64
+	// MaxLevel is the deepest refinement level (default 2).
+	MaxLevel int
+	// NGhost is the ghost width (default 1).
+	NGhost int
+	// Regrid are the clustering parameters (zero value = defaults).
+	Regrid amr.RegridParams
+	// RegridInterval regrids every k level-0 steps (default 1).
+	RegridInterval int
+	// GridsPerProc controls the initial level-0 decomposition
+	// granularity (default 4 boxes per processor).
+	GridsPerProc int
+	// WithData makes the run carry and advance real field data.
+	WithData bool
+	// UseForecast enables NWS-style forecasting of probe measurements
+	// in the global gain/cost evaluation (the paper's future work).
+	UseForecast bool
+	// Reflux enables conservative flux correction at coarse–fine
+	// boundaries for kernels that expose face fluxes (requires
+	// WithData; not supported together with UseMPX).
+	Reflux bool
+	// GradientField, when non-empty, switches regridding to
+	// data-driven flagging: cells where the named field's gradient
+	// exceeds GradientThreshold are refined, instead of the driver's
+	// geometric schedule (requires WithData).
+	GradientField     string
+	GradientThreshold float64
+	// UseMPX routes the real data motion through the mpx
+	// message-passing runtime with one rank per simulated processor
+	// (requires WithData): kernels and exchanges then execute
+	// rank-parallel, as ENZO does over MPI.
+	UseMPX bool
+	// Pool runs patch kernels in parallel (nil = sequential).
+	Pool *solver.Pool
+	// Trace, when non-nil, records structured events.
+	Trace *trace.Recorder
+	// History, when non-nil, collects per-step time series (cells,
+	// imbalance, step time, remote comm).
+	History *metrics.History
+	// AfterStep, when non-nil, runs after every level-0 step (used by
+	// tests to check invariants continuously and by tools to stream
+	// state).
+	AfterStep func(step int, r *Runner)
+	// Resume, when non-nil, starts from a checkpointed hierarchy
+	// (amr.Load) instead of a fresh decomposition; ResumeTime sets the
+	// simulated time the checkpoint was taken at.
+	Resume     *amr.Hierarchy
+	ResumeTime float64
+}
+
+func (o *Options) setDefaults() {
+	if o.Steps <= 0 {
+		o.Steps = 8
+	}
+	if o.Balancer == nil {
+		o.Balancer = dlb.DistributedDLB{}
+	}
+	if o.MaxLevel < 0 {
+		panic("engine: negative MaxLevel")
+	}
+	if o.MaxLevel == 0 {
+		o.MaxLevel = 2
+	}
+	if o.NGhost <= 0 {
+		o.NGhost = 1
+	}
+	if o.Regrid.Cluster.MinEfficiency == 0 {
+		o.Regrid = amr.DefaultRegridParams()
+	}
+	if o.RegridInterval <= 0 {
+		o.RegridInterval = 1
+	}
+	if o.GridsPerProc <= 0 {
+		o.GridsPerProc = 4
+	}
+}
+
+// regridFlopsPerCell is the modelled computational cost of
+// re-partitioning and rebuilding data structures, per cell touched —
+// the source of the δ term in Eq. 1.
+const regridFlopsPerCell = 4.0
+
+// evalFlops is the modelled cost of one gain/cost evaluation
+// (negligible by design: "the evaluation should be very fast").
+const evalFlops = 5e4
+
+// Runner executes one SAMR application on one system with one DLB
+// scheme.
+type Runner struct {
+	sys    *machine.System
+	driver workload.Driver
+	opt    Options
+
+	h     *amr.Hierarchy
+	clock *vclock.Clock
+	rec   *load.Recorder
+	ctx   *dlb.Context
+
+	kernels      []solver.Kernel
+	flopsPerCell float64
+	refFactor    int
+	dt0          float64
+	t            float64
+
+	world    *mpx.World
+	fluxRegs []*amr.FluxRegister
+
+	intervalStart float64
+	globalEvals   int
+	globalRedists int
+	localMigs     int
+	maxCells      int64
+}
+
+// New prepares a runner. The hierarchy is initialised with a level-0
+// decomposition of GridsPerProc boxes per processor, assigned in
+// spatial order so each group owns a contiguous region (the paper's
+// group-boundary picture of Figure 6).
+func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
+	opt.setDefaults()
+	r := &Runner{
+		sys:          sys,
+		driver:       driver,
+		opt:          opt,
+		clock:        vclock.New(sys.NumProcs()),
+		kernels:      driver.Kernels(),
+		flopsPerCell: workload.FlopsPerCell(driver),
+		refFactor:    driver.RefFactor(),
+		dt0:          driver.Dt0(),
+	}
+	n0 := driver.DomainN()
+	if opt.Resume != nil {
+		h := opt.Resume
+		if h.Domain != geom.UnitCube(n0) || h.RefFactor != r.refFactor ||
+			h.WithData != opt.WithData {
+			panic("engine: checkpoint does not match the driver/options")
+		}
+		r.h = h
+		r.t = opt.ResumeTime
+	} else {
+		r.h = amr.New(geom.UnitCube(n0), r.refFactor, opt.MaxLevel, opt.NGhost, opt.WithData, driver.Fields()...)
+	}
+	r.rec = load.NewRecorder(sys.NumProcs(), opt.MaxLevel)
+	r.ctx = &dlb.Context{
+		Sys: sys, H: r.h, Load: r.rec,
+		Now:          r.clock.Now,
+		Gamma:        opt.Gamma,
+		ImbalanceEps: opt.ImbalanceEps,
+	}
+	if opt.UseForecast {
+		r.ctx.Forecast = netsim.NewForecastSet()
+	}
+	if opt.UseMPX {
+		if !opt.WithData {
+			panic("engine: UseMPX requires WithData")
+		}
+		if opt.Reflux {
+			panic("engine: Reflux and UseMPX are not supported together")
+		}
+		r.world = mpx.NewWorld(sys.NumProcs())
+	}
+	if opt.Reflux {
+		if !opt.WithData {
+			panic("engine: Reflux requires WithData")
+		}
+		r.fluxRegs = make([]*amr.FluxRegister, opt.MaxLevel+1)
+	}
+	if opt.GradientField != "" && !opt.WithData {
+		panic("engine: gradient flagging requires WithData")
+	}
+	if opt.Resume == nil {
+		r.initLevel0()
+	}
+	return r
+}
+
+// Time returns the current simulated physical time.
+func (r *Runner) Time() float64 { return r.t }
+
+// Hierarchy exposes the grid hierarchy (for tools and tests).
+func (r *Runner) Hierarchy() *amr.Hierarchy { return r.h }
+
+// Clock exposes the virtual clock.
+func (r *Runner) Clock() *vclock.Clock { return r.clock }
+
+// initLevel0 decomposes the domain into boxes and deals them to
+// processors proportionally to performance, in spatial order.
+func (r *Runner) initLevel0() {
+	boxes := geom.BoxList{r.h.Domain}.SplitEvenly(r.sys.NumProcs() * r.opt.GridsPerProc)
+	boxes.SortByLo()
+	total := float64(r.h.Domain.NumCells())
+	perfSum := r.sys.TotalPerf()
+	proc := 0
+	var assigned float64
+	for _, b := range boxes {
+		// Advance to the next processor once this one holds its share.
+		for proc < r.sys.NumProcs()-1 &&
+			assigned >= total*cumPerf(r.sys, proc)/perfSum {
+			proc++
+		}
+		g := r.h.AddGrid(0, b, proc, amr.NoGrid)
+		assigned += float64(b.NumCells())
+		if r.opt.WithData {
+			r.driver.InitialCondition(g.Patch, r.dx(0))
+		}
+	}
+	r.h.SortLevel(0)
+}
+
+// cumPerf returns the summed performance of processors 0..p inclusive.
+func cumPerf(sys *machine.System, p int) float64 {
+	var s float64
+	for i := 0; i <= p; i++ {
+		s += sys.Perf(i)
+	}
+	return s
+}
+
+func (r *Runner) dx(level int) float64 {
+	return 1.0 / (float64(r.driver.DomainN()) * math.Pow(float64(r.refFactor), float64(level)))
+}
+
+func (r *Runner) dt(level int) float64 {
+	return r.dt0 / math.Pow(float64(r.refFactor), float64(level))
+}
+
+// Run executes the configured number of level-0 steps and returns the
+// measured result.
+func (r *Runner) Run() *metrics.Result {
+	for s := 0; s < r.opt.Steps; s++ {
+		if s%r.opt.RegridInterval == 0 {
+			r.regrid(s == 0)
+		}
+		r.step(0)
+		r.t += r.dt0
+		r.globalBalance()
+		if r.opt.AfterStep != nil {
+			r.opt.AfterStep(s, r)
+		}
+	}
+	return r.result()
+}
+
+// step advances one level by one of its time steps, then recursively
+// subcycles the finer level (Fig. 2's ordering), restricts the fine
+// solution, and runs the local balancing of Fig. 4's right column.
+func (r *Runner) step(level int) {
+	hasFine := level < r.h.MaxLevel && len(r.h.Grids(level+1)) > 0
+	if r.fluxRegs != nil && hasFine {
+		r.fluxRegs[level+1] = amr.NewFluxRegister(r.h, level+1)
+	}
+	r.advanceLevel(level)
+	r.opt.Trace.Add(trace.Step, level, r.clock.Now(), "")
+	if hasFine {
+		for i := 0; i < r.refFactor; i++ {
+			r.step(level + 1)
+		}
+		r.restrict(level + 1)
+		if r.fluxRegs != nil && r.fluxRegs[level+1] != nil {
+			r.fluxRegs[level+1].Apply()
+			r.fluxRegs[level+1] = nil
+		}
+	}
+	if level > 0 {
+		r.localBalance(level)
+	}
+}
+
+// advanceLevel performs one time step of one level: ghost exchange
+// (charged over the network model), kernel compute (charged per
+// processor; really executed when WithData), and load recording.
+func (r *Runner) advanceLevel(level int) {
+	grids := r.h.Grids(level)
+	if len(grids) == 0 {
+		return
+	}
+
+	// Communication: ghost plan, aggregated per processor pair.
+	r.chargeMessages(r.h.GhostPlanCached(level), vclock.LocalComm, vclock.RemoteComm)
+
+	// Real data motion and numerics.
+	if r.opt.WithData {
+		dt, dx := r.dt(level), r.dx(level)
+		if r.world != nil {
+			// Rank-parallel execution: every simulated processor runs
+			// as an mpx rank, exchanging ghosts by message and
+			// advancing only its own grids.
+			r.world.Run(func(rank *mpx.Rank) {
+				r.h.FillGhostsMPX(rank, level)
+				for _, g := range grids {
+					if g.Owner != rank.ID() {
+						continue
+					}
+					for _, k := range r.kernels {
+						k.Step(g.Patch, dt, dx)
+					}
+				}
+			})
+		} else {
+			r.h.FillGhostsData(level)
+			var fluxes []*solver.Fluxes
+			if r.fluxRegs != nil {
+				fluxes = make([]*solver.Fluxes, len(grids))
+			}
+			stepGrid := func(i int) {
+				for _, k := range r.kernels {
+					if fluxes != nil {
+						if fk, ok := k.(solver.FluxedKernel); ok {
+							fluxes[i] = fk.StepFluxes(grids[i].Patch, dt, dx)
+							continue
+						}
+					}
+					k.Step(grids[i].Patch, dt, dx)
+				}
+			}
+			if r.opt.Pool != nil {
+				r.opt.Pool.ForEach(len(grids), stepGrid)
+			} else {
+				for i := range grids {
+					stepGrid(i)
+				}
+			}
+			// Feed the flux registers sequentially in grid order so
+			// accumulation is deterministic.
+			if fluxes != nil {
+				for i, g := range grids {
+					if fluxes[i] == nil {
+						continue
+					}
+					if level+1 <= r.h.MaxLevel && r.fluxRegs[level+1] != nil {
+						r.fluxRegs[level+1].AddCoarse(g, fluxes[i])
+					}
+					if r.fluxRegs[level] != nil {
+						r.fluxRegs[level].AddFine(g, fluxes[i])
+					}
+				}
+			}
+		}
+	}
+
+	// Virtual compute time and workload snapshot.
+	perProc := make([]float64, r.sys.NumProcs())
+	work := make([]float64, r.sys.NumProcs())
+	for _, g := range grids {
+		w := float64(g.NumCells()) * r.flopsPerCell
+		work[g.Owner] += w
+	}
+	if level == 0 {
+		r.particleWork(work)
+	}
+	for p := range perProc {
+		perProc[p] = work[p] / (r.sys.Perf(p) * r.sys.FlopsPerSecond)
+		r.rec.RecordLevelWork(p, level, work[p])
+	}
+	r.clock.AddPhase(vclock.Compute, perProc)
+	r.rec.RecordIteration(level)
+
+	if c := totalCells(r.h); c > r.maxCells {
+		r.maxCells = c
+	}
+}
+
+// particleWork advances the particle population (once per level-0
+// step) and adds its per-processor cost: each particle is integrated
+// by the owner of the level-0 grid containing it.
+func (r *Runner) particleWork(work []float64) {
+	ps := r.driver.Particles()
+	if ps == nil {
+		return
+	}
+	ps.Step(r.dt0)
+	dx0 := r.dx(0)
+	for _, g := range r.h.Grids(0) {
+		lo := [3]float64{float64(g.Box.Lo[0]) * dx0, float64(g.Box.Lo[1]) * dx0, float64(g.Box.Lo[2]) * dx0}
+		hi := [3]float64{float64(g.Box.Hi[0]+1) * dx0, float64(g.Box.Hi[1]+1) * dx0, float64(g.Box.Hi[2]+1) * dx0}
+		n := ps.CountInRegion(lo, hi)
+		work[g.Owner] += float64(n) * solver.FlopsPerParticle
+	}
+}
+
+// restrict projects level l onto l-1, charging the transfer plan.
+func (r *Runner) restrict(level int) {
+	r.chargeMessages(r.h.RestrictPlanCached(level), vclock.LocalComm, vclock.RemoteComm)
+	if r.opt.WithData {
+		if r.world != nil {
+			r.world.Run(func(rank *mpx.Rank) {
+				r.h.RestrictMPX(rank, level)
+			})
+		} else {
+			r.h.RestrictData(level)
+		}
+	}
+}
+
+// chargeMessages aggregates the plan per (src proc, dst proc) pair —
+// one latency per pair, bytes summed, matching message coalescing in
+// real SAMR codes — and charges each processor the time of the
+// transfers it participates in.
+func (r *Runner) chargeMessages(msgs []amr.Message, localPhase, remotePhase vclock.Phase) {
+	if len(msgs) == 0 {
+		return
+	}
+	type pair struct{ src, dst int }
+	bytesBy := make(map[pair]int64)
+	var pairs []pair
+	for _, m := range msgs {
+		src := r.h.Grid(m.Src).Owner
+		dst := r.h.Grid(m.Dst).Owner
+		if src == dst {
+			continue
+		}
+		key := pair{src, dst}
+		if _, seen := bytesBy[key]; !seen {
+			pairs = append(pairs, key)
+		}
+		bytesBy[key] += m.Bytes
+	}
+	// Deterministic accumulation order: the per-processor float sums
+	// (and hence every downstream DLB decision) depend on it.
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].src != pairs[j].src {
+			return pairs[i].src < pairs[j].src
+		}
+		return pairs[i].dst < pairs[j].dst
+	})
+	local := make([]float64, r.sys.NumProcs())
+	remote := make([]float64, r.sys.NumProcs())
+	now := r.clock.Now()
+	anyLocal, anyRemote := false, false
+	for _, pr := range pairs {
+		link := r.sys.LinkBetween(pr.src, pr.dst)
+		tt := link.TransferTime(now, float64(bytesBy[pr]))
+		if r.sys.SameGroup(pr.src, pr.dst) {
+			local[pr.src] += tt
+			local[pr.dst] += tt
+			anyLocal = true
+		} else {
+			remote[pr.src] += tt
+			remote[pr.dst] += tt
+			anyRemote = true
+		}
+	}
+	if anyLocal {
+		r.clock.AddPhase(localPhase, local)
+	}
+	if anyRemote {
+		r.clock.AddPhase(remotePhase, remote)
+	}
+}
+
+// chargeMigrations charges grid-migration transfers into the given
+// phases (local and remote by group relation).
+func (r *Runner) chargeMigrations(migs []dlb.Migration, localPhase, remotePhase vclock.Phase) {
+	if len(migs) == 0 {
+		return
+	}
+	local := make([]float64, r.sys.NumProcs())
+	remote := make([]float64, r.sys.NumProcs())
+	now := r.clock.Now()
+	anyLocal, anyRemote := false, false
+	for _, m := range migs {
+		link := r.sys.LinkBetween(m.From, m.To)
+		tt := link.TransferTime(now, float64(m.Bytes))
+		if r.sys.SameGroup(m.From, m.To) {
+			local[m.From] += tt
+			local[m.To] += tt
+			anyLocal = true
+		} else {
+			remote[m.From] += tt
+			remote[m.To] += tt
+			anyRemote = true
+		}
+	}
+	if anyLocal {
+		r.clock.AddPhase(localPhase, local)
+	}
+	if anyRemote {
+		r.clock.AddPhase(remotePhase, remote)
+	}
+}
+
+// localBalance runs the scheme's local phase for one level.
+func (r *Runner) localBalance(level int) {
+	migs := r.opt.Balancer.LocalBalance(r.ctx, level)
+	if len(migs) == 0 {
+		return
+	}
+	r.localMigs += len(migs)
+	r.chargeMigrations(migs, vclock.LocalComm, vclock.RemoteComm)
+	r.opt.Trace.Add(trace.LocalBalance, level, r.clock.Now(), fmt.Sprintf("migrations=%d", len(migs)))
+}
+
+// globalBalance implements the left column of Fig. 4 after a level-0
+// step: record T(t), let the scheme decide, charge probe and
+// redistribution costs, measure δ for the next decision, and reset
+// the interval accumulators.
+func (r *Runner) globalBalance() {
+	r.rec.SetIntervalTime(r.clock.Now() - r.intervalStart)
+	if r.opt.History != nil {
+		r.opt.History.Record("step-time", r.clock.Now()-r.intervalStart)
+		r.opt.History.Record("cells", float64(totalCells(r.h)))
+		r.opt.History.Record("imbalance-ratio", r.rec.ImbalanceRatio(r.sys))
+		r.opt.History.Record("remote-comm", r.clock.PhaseTotal(vclock.RemoteComm))
+	}
+	d := r.opt.Balancer.GlobalBalance(r.ctx)
+	if d.Evaluated {
+		r.globalEvals++
+		r.clock.AddUniform(vclock.DLBOverhead, d.ProbeTime+evalFlops/r.sys.FlopsPerSecond)
+		r.opt.Trace.Add(trace.GlobalCheck, 0, r.clock.Now(),
+			fmt.Sprintf("gain=%.4g cost=%.4g invoked=%v", d.Gain, d.Cost, d.Invoked))
+	}
+	if d.Invoked {
+		if d.Evaluated {
+			// The distributed scheme's global redistribution: remote
+			// transfers plus the computational overhead δ (measured
+			// and remembered for the next Eq. 1 evaluation).
+			r.globalRedists++
+			r.chargeMigrations(d.Migrations, vclock.Redistribution, vclock.Redistribution)
+			var movedCells int64
+			for _, m := range d.Migrations {
+				if g := r.h.Grid(m.Grid); g != nil {
+					movedCells += g.NumCells()
+				}
+			}
+			// δ covers "the time to partition the grids at the top
+			// level, rebuild the internal data structures, and update
+			// boundary conditions" — it scales with the level-0 size,
+			// not just the moved volume.
+			delta := float64(movedCells+r.h.TotalCells(0)) * regridFlopsPerCell / r.sys.FlopsPerSecond
+			r.clock.AddUniform(vclock.Redistribution, delta)
+			r.rec.SetDelta(delta)
+			r.opt.Trace.Add(trace.Redistribution, 0, r.clock.Now(),
+				fmt.Sprintf("migrations=%d bytes=%d", len(d.Migrations), d.MovedBytes))
+		} else {
+			// The parallel scheme's per-step rebalancing of level 0.
+			r.localMigs += len(d.Migrations)
+			r.chargeMigrations(d.Migrations, vclock.LocalComm, vclock.RemoteComm)
+		}
+	}
+	r.rec.ResetInterval()
+	r.intervalStart = r.clock.Now()
+}
+
+// regrid rebuilds the fine levels from the driver's flags at the
+// current simulated time, placing children via the scheme.
+func (r *Runner) regrid(initial bool) {
+	flagger := func(level int, f *cluster.FlagField) {
+		if r.opt.GradientField != "" {
+			r.h.FlagWhereGradient(level, r.opt.GradientField, r.opt.GradientThreshold, f)
+			return
+		}
+		r.driver.Flag(level, r.t, f)
+	}
+	place := func(childBox geom.Box, parent *amr.Grid) int {
+		return r.opt.Balancer.PlaceChild(r.ctx, childBox, parent)
+	}
+	r.h.RegridAll(0, flagger, r.opt.Regrid, place)
+	if initial && r.opt.WithData {
+		// At t=0 the exact initial condition beats prolonged data.
+		for l := 1; l <= r.h.MaxLevel; l++ {
+			for _, g := range r.h.Grids(l) {
+				r.driver.InitialCondition(g.Patch, r.dx(l))
+			}
+		}
+	}
+	// Charge the regrid cost: flag evaluation, clustering and
+	// data-structure rebuild scale with the cell count.
+	cells := totalCells(r.h)
+	r.clock.AddUniform(vclock.Regrid, float64(cells)*regridFlopsPerCell/r.sys.FlopsPerSecond)
+	r.opt.Trace.Add(trace.Regrid, 0, r.clock.Now(), fmt.Sprintf("cells=%d", cells))
+}
+
+func totalCells(h *amr.Hierarchy) int64 {
+	var n int64
+	for l := 0; l <= h.MaxLevel; l++ {
+		n += h.TotalCells(l)
+	}
+	return n
+}
+
+// result assembles the run's metrics.
+func (r *Runner) result() *metrics.Result {
+	return &metrics.Result{
+		Scheme:          r.opt.Balancer.Name(),
+		Dataset:         r.driver.Name(),
+		SystemName:      r.sys.String(),
+		Procs:           r.sys.NumProcs(),
+		PerfSum:         r.sys.TotalPerf(),
+		Steps:           r.opt.Steps,
+		Total:           r.clock.Now(),
+		Breakdown:       r.clock.Breakdown(),
+		Utilisation:     r.clock.Utilisation(),
+		GlobalEvals:     r.globalEvals,
+		GlobalRedists:   r.globalRedists,
+		LocalMigrations: r.localMigs,
+		MaxCells:        r.maxCells,
+	}
+}

@@ -1,0 +1,263 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOpts keeps test sweeps quick while preserving the dynamics.
+func fastOpts() Options {
+	return Options{Steps: 6, Configs: []int{2, 4}, Seed: 42}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rows := Fig3(fastOpts())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Computation must be (nearly) identical: same processors.
+		if relDiff(r.ParCompute, r.DistCompute) > 0.05 {
+			t.Errorf("%s: compute differs: par %v dist %v", r.Config, r.ParCompute, r.DistCompute)
+		}
+		// Distributed communication must be much larger than parallel.
+		if r.DistComm < 3*r.ParComm {
+			t.Errorf("%s: distributed comm %v not ≫ parallel comm %v", r.Config, r.DistComm, r.ParComm)
+		}
+		// And the distributed total larger overall.
+		if r.DistTotal <= r.ParTotal {
+			t.Errorf("%s: distributed total %v should exceed parallel %v", r.Config, r.DistTotal, r.ParTotal)
+		}
+	}
+}
+
+func TestFig7DistributedWins(t *testing.T) {
+	for _, ds := range []string{"AMR64", "ShockPool3D"} {
+		rows := Fig7(ds, fastOpts())
+		for _, r := range rows {
+			if r.ImprovementPct <= 0 {
+				t.Errorf("%s %s: distributed DLB must win, improvement %.1f%%", ds, r.Config, r.ImprovementPct)
+			}
+			// The paper's improvements peak at ~46%; anything beyond
+			// 75% would mean our model overstates the effect badly.
+			if r.ImprovementPct > 75 {
+				t.Errorf("%s %s: improvement %.1f%% implausibly large", ds, r.Config, r.ImprovementPct)
+			}
+		}
+		avg := AvgImprovement(rows)
+		// Paper averages: 29.7% and 23.7%. Accept a generous band.
+		if avg < 5 || avg > 60 {
+			t.Errorf("%s: avg improvement %.1f%% outside plausible band", ds, avg)
+		}
+	}
+}
+
+func TestFig7ImprovementBandsFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	o := Options{Steps: 10, Seed: 42}
+	for _, ds := range []string{"AMR64", "ShockPool3D"} {
+		rows := Fig7(ds, o)
+		band := Fig7Bands[ds]
+		avg := AvgImprovement(rows)
+		// The measured average should be within 15 percentage points
+		// of the paper's — the substrate differs, the shape must not.
+		if avg < band.AvgPct-15 || avg > band.AvgPct+15 {
+			t.Errorf("%s: avg improvement %.1f%% vs paper avg %.1f%%", ds, avg, band.AvgPct)
+		}
+		for _, r := range rows {
+			if r.ImprovementPct < band.MinPct-15 || r.ImprovementPct > band.MaxPct+15 {
+				t.Errorf("%s %s: improvement %.1f%% far outside paper band [%.1f, %.1f]",
+					ds, r.Config, r.ImprovementPct, band.MinPct, band.MaxPct)
+			}
+		}
+	}
+}
+
+func TestFig8EfficiencyImproves(t *testing.T) {
+	for _, ds := range []string{"ShockPool3D"} {
+		rows := Fig8(ds, fastOpts())
+		for _, r := range rows {
+			if r.DistEfficiency <= r.ParallelEfficiency {
+				t.Errorf("%s %s: distributed efficiency %v must beat parallel %v",
+					ds, r.Config, r.DistEfficiency, r.ParallelEfficiency)
+			}
+			if r.ParallelEfficiency <= 0 || r.ParallelEfficiency > 1.2 {
+				t.Errorf("%s %s: efficiency out of range: %v", ds, r.Config, r.ParallelEfficiency)
+			}
+		}
+	}
+}
+
+func TestEfficiencyDecreasesWithScale(t *testing.T) {
+	// More processors on a WAN → lower efficiency (the paper's Fig 8
+	// bars shrink left to right).
+	rows := Fig8("ShockPool3D", fastOpts())
+	if rows[1].DistEfficiency >= rows[0].DistEfficiency {
+		t.Errorf("efficiency should fall with scale: %v then %v",
+			rows[0].DistEfficiency, rows[1].DistEfficiency)
+	}
+}
+
+func TestGammaSweepMonotoneRedistributions(t *testing.T) {
+	o := fastOpts()
+	rows := GammaSweep([]float64{0.5, 8}, o)
+	if rows[0].GlobalRedists < rows[1].GlobalRedists {
+		t.Errorf("low gamma should redistribute at least as often: %d vs %d",
+			rows[0].GlobalRedists, rows[1].GlobalRedists)
+	}
+}
+
+func TestRunsAreReproducible(t *testing.T) {
+	o := fastOpts()
+	a := Fig7("ShockPool3D", o)
+	b := Fig7("ShockPool3D", o)
+	for i := range a {
+		if a[i].Parallel != b[i].Parallel || a[i].Distributed != b[i].Distributed {
+			t.Fatalf("sweep not reproducible at %s", a[i].Config)
+		}
+	}
+}
+
+func TestSequentialHasNoComm(t *testing.T) {
+	r := Sequential("ShockPool3D", fastOpts())
+	if r.Comm() != 0 {
+		t.Errorf("sequential comm = %v", r.Comm())
+	}
+}
+
+func TestUnknownNamesPanic(t *testing.T) {
+	assertPanics(t, "dataset", func() { driverFor("nope", fastOpts()) })
+	assertPanics(t, "scheme", func() { balancerFor("nope") })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestConfigName(t *testing.T) {
+	if ConfigName(4) != "4+4" {
+		t.Errorf("ConfigName = %s", ConfigName(4))
+	}
+}
+
+func TestReportsRender(t *testing.T) {
+	o := Options{Steps: 4, Configs: []int{2}, Seed: 1}
+	for name, txt := range map[string]string{
+		"fig3":  Fig3Report(o),
+		"fig7":  Fig7Report("ShockPool3D", o),
+		"fig8":  Fig8Report("ShockPool3D", o),
+		"gamma": GammaReport(o),
+	} {
+		if !strings.Contains(txt, "2+2") && name != "gamma" {
+			t.Errorf("%s report missing config row:\n%s", name, txt)
+		}
+		if len(txt) < 100 {
+			t.Errorf("%s report suspiciously short", name)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d / m
+}
+
+func TestEpsSweepMoreEvalsAtLowerEps(t *testing.T) {
+	rows := EpsSweep([]float64{0.01, 0.5}, fastOpts())
+	if rows[0].GlobalEvals < rows[1].GlobalEvals {
+		t.Errorf("lower eps should evaluate at least as often: %d vs %d",
+			rows[0].GlobalEvals, rows[1].GlobalEvals)
+	}
+}
+
+func TestGranularitySweepUtilisation(t *testing.T) {
+	rows := GranularitySweep([]int{1, 8}, fastOpts())
+	for _, r := range rows {
+		if r.Total <= 0 || r.Utilisation <= 0 {
+			t.Errorf("bad granularity row: %+v", r)
+		}
+	}
+}
+
+func TestRegridIntervalSweep(t *testing.T) {
+	rows := RegridIntervalSweep([]int{1, 4}, fastOpts())
+	for _, r := range rows {
+		if r.Total <= 0 || r.MaxCells <= 0 {
+			t.Errorf("bad regrid row: %+v", r)
+		}
+	}
+}
+
+func TestForecastAblationRuns(t *testing.T) {
+	rows := ForecastAblation(fastOpts())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RawTotal <= 0 || r.FcTotal <= 0 {
+			t.Errorf("bad forecast row: %+v", r)
+		}
+	}
+}
+
+func TestMultiSiteDistributedWins(t *testing.T) {
+	rows := MultiSiteSweep(fastOpts())
+	for _, r := range rows {
+		if r.ImprovementPct <= 0 {
+			t.Errorf("distributed DLB must win on %s: %+v", r.Sites, r)
+		}
+	}
+}
+
+func TestAblationReportRenders(t *testing.T) {
+	txt := AblationReport(Options{Steps: 3, Configs: []int{2}, Seed: 1})
+	for _, want := range []string{"imbalance trigger", "granularity", "regrid interval", "NWS", "multi-site"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}
+
+func TestSchemeSweep(t *testing.T) {
+	rows := SchemeSweep(fastOpts())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]SchemeRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	// Both group-aware schemes must beat the baseline.
+	for _, s := range []string{"distributed-dlb", "sfc-dlb"} {
+		if byName[s].Total >= byName["parallel-dlb"].Total {
+			t.Errorf("%s (%v) should beat parallel (%v)", s, byName[s].Total, byName["parallel-dlb"].Total)
+		}
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	md := MarkdownReport(Options{Steps: 3, Configs: []int{2}, Seed: 1})
+	for _, want := range []string{"# Reproduction report", "## Figure 3", "## Figure 7", "## Figure 8", "| 2+2 |", "γ sensitivity"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MarkdownReport renders the paper-vs-measured evaluation as markdown
+// (the machine-generated core of EXPERIMENTS.md), so the record of a
+// reproduction run can be regenerated verbatim:
+//
+//	go run ./cmd/figures -format md > report.md
+func MarkdownReport(o Options) string {
+	o.setDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Reproduction report\n\n")
+	fmt.Fprintf(&b, "Parameters: steps=%d, configs=%v, seed=%d, maxlevel=%d, domains %d³/%d³.\n\n",
+		o.Steps, o.Configs, o.Seed, o.MaxLevel, o.ShockN, o.AMRN)
+
+	b.WriteString("## Figure 3 — parallel vs distributed execution (ShockPool3D, parallel DLB)\n\n")
+	b.WriteString("| config | par-compute | par-comm | dist-compute | dist-comm |\n|---|---|---|---|---|\n")
+	for _, r := range Fig3(o) {
+		fmt.Fprintf(&b, "| %s | %.3f | %.3f | %.3f | %.3f |\n",
+			r.Config, r.ParCompute, r.ParComm, r.DistCompute, r.DistComm)
+	}
+	b.WriteString("\nPaper: compute similar on both systems; distributed communication much larger.\n\n")
+
+	for _, ds := range []string{"AMR64", "ShockPool3D"} {
+		band := Fig7Bands[ds]
+		rows := Fig7(ds, o)
+		fmt.Fprintf(&b, "## Figure 7 — execution time, %s\n\n", ds)
+		b.WriteString("| config | parallel | distributed | improvement |\n|---|---|---|---|\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "| %s | %.3f | %.3f | %+.1f%% |\n",
+				r.Config, r.Parallel, r.Distributed, r.ImprovementPct)
+		}
+		fmt.Fprintf(&b, "\nMeasured avg %.1f%% | paper %.1f%%–%.1f%% (avg %.1f%%).\n\n",
+			AvgImprovement(rows), band.MinPct, band.MaxPct, band.AvgPct)
+	}
+
+	for _, ds := range []string{"AMR64", "ShockPool3D"} {
+		band := Fig8Bands[ds]
+		rows := Fig8(ds, o)
+		fmt.Fprintf(&b, "## Figure 8 — efficiency, %s\n\n", ds)
+		b.WriteString("| config | parallel eff. | distributed eff. | improvement |\n|---|---|---|---|\n")
+		var avg float64
+		for _, r := range rows {
+			fmt.Fprintf(&b, "| %s | %.3f | %.3f | %+.1f%% |\n",
+				r.Config, r.ParallelEfficiency, r.DistEfficiency, r.ImprovementPct)
+			avg += r.ImprovementPct
+		}
+		fmt.Fprintf(&b, "\nMeasured avg %.1f%% | paper %.1f%%–%.1f%%.\n\n",
+			avg/float64(len(rows)), band.MinPct, band.MaxPct)
+	}
+
+	b.WriteString("## γ sensitivity\n\n| γ | total | redistributions | evaluations |\n|---|---|---|---|\n")
+	for _, r := range GammaSweep([]float64{0.5, 1, 2, 4, 8}, o) {
+		fmt.Fprintf(&b, "| %.1f | %.3f | %d | %d |\n", r.Gamma, r.Total, r.GlobalRedists, r.GlobalEvals)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"samrdlb/internal/metrics"
+)
+
+// Report renders the full evaluation — every figure with
+// paper-vs-measured comparison — as text. cmd/figures prints it and
+// EXPERIMENTS.md records a run of it.
+func Report(o Options) string {
+	o.setDefaults()
+	var b strings.Builder
+
+	b.WriteString("SAMR distributed DLB reproduction — evaluation report\n")
+	fmt.Fprintf(&b, "steps=%d configs=%v seed=%d maxlevel=%d shockN=%d amrN=%d\n\n",
+		o.Steps, o.Configs, o.Seed, o.MaxLevel, o.ShockN, o.AMRN)
+
+	b.WriteString(Fig3Report(o))
+	b.WriteString("\n")
+	for _, ds := range []string{"AMR64", "ShockPool3D"} {
+		b.WriteString(Fig7Report(ds, o))
+		b.WriteString("\n")
+	}
+	for _, ds := range []string{"AMR64", "ShockPool3D"} {
+		b.WriteString(Fig8Report(ds, o))
+		b.WriteString("\n")
+	}
+	b.WriteString(GammaReport(o))
+	b.WriteString("\n")
+	b.WriteString(AblationReport(o))
+	return b.String()
+}
+
+// Fig3Report renders Figure 3.
+func Fig3Report(o Options) string {
+	t := metrics.NewTable(
+		"Figure 3 — parallel vs distributed execution (ShockPool3D, parallel DLB on both systems; seconds)",
+		"config", "par-compute", "par-comm", "par-total", "dist-compute", "dist-comm", "dist-total")
+	for _, r := range Fig3(o) {
+		t.AddRow(r.Config, r.ParCompute, r.ParComm, r.ParTotal, r.DistCompute, r.DistComm, r.DistTotal)
+	}
+	return t.String() +
+		"paper: computation similar on both systems; distributed communication much larger (shared WAN).\n"
+}
+
+// Fig7Report renders Figure 7 for one dataset.
+func Fig7Report(dataset string, o Options) string {
+	rows := Fig7(dataset, o)
+	band := Fig7Bands[dataset]
+	sysName := "WAN (ANL+NCSA, MREN OC-3)"
+	if dataset == "AMR64" {
+		sysName = "LAN (ANL+ANL, shared GigE)"
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 7 — execution time, %s on %s (seconds)", dataset, sysName),
+		"config", "parallel-dlb", "distributed-dlb", "improvement%")
+	for _, r := range rows {
+		t.AddRow(r.Config, r.Parallel, r.Distributed, r.ImprovementPct)
+	}
+	return t.String() + fmt.Sprintf(
+		"measured: avg improvement %.1f%% | paper: %.1f%%–%.1f%%, avg %.1f%%\n",
+		AvgImprovement(rows), band.MinPct, band.MaxPct, band.AvgPct)
+}
+
+// Fig8Report renders Figure 8 for one dataset.
+func Fig8Report(dataset string, o Options) string {
+	rows := Fig8(dataset, o)
+	band := Fig8Bands[dataset]
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 8 — efficiency E(1)/(E·P), %s", dataset),
+		"config", "parallel-dlb", "distributed-dlb", "improvement%")
+	var avg float64
+	for _, r := range rows {
+		t.AddRow(r.Config, r.ParallelEfficiency, r.DistEfficiency, r.ImprovementPct)
+		avg += r.ImprovementPct
+	}
+	avg /= float64(len(rows))
+	return t.String() + fmt.Sprintf(
+		"measured: avg efficiency improvement %.1f%% | paper: %.1f%%–%.1f%%\n",
+		avg, band.MinPct, band.MaxPct)
+}
+
+// GammaReport renders the γ-sensitivity ablation.
+func GammaReport(o Options) string {
+	t := metrics.NewTable(
+		"Ablation — γ sensitivity (ShockPool3D, 4+4 WAN; paper defers this to future work)",
+		"gamma", "total-time", "global-redists", "global-evals")
+	for _, r := range GammaSweep([]float64{0.5, 1, 2, 4, 8}, o) {
+		t.AddRow(fmt.Sprintf("%.1f", r.Gamma), r.Total, r.GlobalRedists, r.GlobalEvals)
+	}
+	return t.String() +
+		"expectation: higher γ vetoes more redistributions; γ≈2 (the paper's default) balances overhead vs imbalance.\n"
+}

@@ -1,0 +1,239 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSubtractDisjointTiles(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 500; i++ {
+		a, b := randNonEmptyBox(r), randNonEmptyBox(r)
+		parts := Subtract(a, b)
+		if !parts.Disjoint() {
+			t.Fatalf("Subtract produced overlapping parts: %v \\ %v = %v", a, b, parts)
+		}
+		// parts + a∩b must tile a exactly.
+		total := parts.NumCells() + a.Intersect(b).NumCells()
+		if total != a.NumCells() {
+			t.Fatalf("Subtract cell accounting wrong: %v \\ %v: %d + overlap != %d",
+				a, b, parts.NumCells(), a.NumCells())
+		}
+		for _, p := range parts {
+			if !a.ContainsBox(p) {
+				t.Fatalf("part %v escapes %v", p, a)
+			}
+			if p.Intersects(b) {
+				t.Fatalf("part %v still overlaps %v", p, b)
+			}
+		}
+	}
+}
+
+func TestSubtractSelf(t *testing.T) {
+	a := UnitCube(4)
+	if parts := Subtract(a, a); len(parts) != 0 {
+		t.Errorf("a \\ a should be empty, got %v", parts)
+	}
+}
+
+func TestSubtractDisjointOperands(t *testing.T) {
+	a := UnitCube(4)
+	b := a.Shift(Index{10, 0, 0})
+	parts := Subtract(a, b)
+	if len(parts) != 1 || parts[0] != a {
+		t.Errorf("a \\ disjoint should be {a}, got %v", parts)
+	}
+}
+
+func TestSubtractCenterHole(t *testing.T) {
+	a := UnitCube(6)
+	hole := NewBox(Index{2, 2, 2}, Index{3, 3, 3})
+	parts := Subtract(a, hole)
+	if parts.NumCells() != a.NumCells()-hole.NumCells() {
+		t.Errorf("cell count wrong: %d", parts.NumCells())
+	}
+	if len(parts) != 6 {
+		t.Errorf("center hole should give 6 slabs, got %d", len(parts))
+	}
+}
+
+func TestSubtractList(t *testing.T) {
+	a := UnitCube(8)
+	covers := BoxList{
+		NewBox(Index{0, 0, 0}, Index{7, 7, 3}),
+		NewBox(Index{0, 0, 4}, Index{7, 7, 7}),
+	}
+	if rest := SubtractList(a, covers); len(rest) != 0 {
+		t.Errorf("fully covered box should leave nothing, got %v", rest)
+	}
+	partial := BoxList{NewBox(Index{0, 0, 0}, Index{7, 7, 3})}
+	rest := SubtractList(a, partial)
+	if rest.NumCells() != 8*8*4 {
+		t.Errorf("remaining cells = %d, want %d", rest.NumCells(), 8*8*4)
+	}
+}
+
+func TestContainsBoxList(t *testing.T) {
+	l := BoxList{
+		NewBox(Index{0, 0, 0}, Index{3, 7, 7}),
+		NewBox(Index{4, 0, 0}, Index{7, 7, 7}),
+	}
+	if !l.ContainsBox(UnitCube(8)) {
+		t.Error("two slabs must cover the cube")
+	}
+	if l.ContainsBox(UnitCube(9)) {
+		t.Error("slabs must not cover the larger cube")
+	}
+	if !l.Contains(Index{5, 5, 5}) || l.Contains(Index{8, 0, 0}) {
+		t.Error("point containment wrong")
+	}
+}
+
+func TestBoundingAndNumCells(t *testing.T) {
+	l := BoxList{UnitCube(2), UnitCube(2).Shift(Index{4, 4, 4})}
+	bb := l.Bounding()
+	if bb.Lo != (Index{0, 0, 0}) || bb.Hi != (Index{5, 5, 5}) {
+		t.Errorf("Bounding = %v", bb)
+	}
+	if l.NumCells() != 16 {
+		t.Errorf("NumCells = %d", l.NumCells())
+	}
+	if (BoxList{}).Bounding().NumCells() != 0 {
+		t.Error("empty list bounding must be empty")
+	}
+}
+
+func TestIntersectBoxList(t *testing.T) {
+	l := BoxList{UnitCube(4), UnitCube(4).Shift(Index{10, 0, 0})}
+	got := l.IntersectBox(NewBox(Index{2, 0, 0}, Index{11, 3, 3}))
+	if len(got) != 2 {
+		t.Fatalf("expected 2 intersections, got %v", got)
+	}
+	if got.NumCells() != 2*4*4+2*4*4 {
+		t.Errorf("intersection cells = %d", got.NumCells())
+	}
+}
+
+func TestSplitEvenly(t *testing.T) {
+	l := BoxList{UnitCube(8)}
+	out := l.SplitEvenly(7)
+	if len(out) < 7 {
+		t.Fatalf("SplitEvenly produced %d boxes, want >= 7", len(out))
+	}
+	if out.NumCells() != 512 {
+		t.Errorf("SplitEvenly changed total cells: %d", out.NumCells())
+	}
+	if !out.Disjoint() {
+		t.Error("SplitEvenly parts must be disjoint")
+	}
+	// Largest/smallest ratio should be modest for a power-of-two cube.
+	var lo, hi int64 = 1 << 62, 0
+	for _, b := range out {
+		c := b.NumCells()
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi > 4*lo {
+		t.Errorf("SplitEvenly very uneven: min %d max %d", lo, hi)
+	}
+}
+
+func TestSplitEvenlySingleCells(t *testing.T) {
+	l := BoxList{UnitCube(1)}
+	out := l.SplitEvenly(5)
+	if len(out) != 1 {
+		t.Errorf("single cell cannot be split, got %d boxes", len(out))
+	}
+}
+
+func TestRefineCoarsenList(t *testing.T) {
+	l := BoxList{UnitCube(2), UnitCube(2).Shift(Index{4, 0, 0})}
+	r := l.Refine(2)
+	if r.NumCells() != l.NumCells()*8 {
+		t.Error("list refine cell count wrong")
+	}
+	if c := r.Coarsen(2); c.NumCells() != l.NumCells() {
+		t.Error("list coarsen did not invert refine")
+	}
+}
+
+func TestSortByLo(t *testing.T) {
+	l := BoxList{
+		UnitCube(1).Shift(Index{0, 0, 5}),
+		UnitCube(1).Shift(Index{3, 0, 0}),
+		UnitCube(1).Shift(Index{1, 0, 0}),
+		UnitCube(1).Shift(Index{0, 2, 0}),
+	}
+	l.SortByLo()
+	want := []Index{{1, 0, 0}, {3, 0, 0}, {0, 2, 0}, {0, 0, 5}}
+	for i, b := range l {
+		if b.Lo != want[i] {
+			t.Fatalf("SortByLo order wrong at %d: %v", i, b.Lo)
+		}
+	}
+}
+
+func TestCoalesceMergesAdjacent(t *testing.T) {
+	l := BoxList{
+		NewBox(Index{0, 0, 0}, Index{3, 7, 7}),
+		NewBox(Index{4, 0, 0}, Index{7, 7, 7}),
+	}
+	out := l.Coalesce()
+	if len(out) != 1 || out[0] != UnitCube(8) {
+		t.Errorf("Coalesce = %v", out)
+	}
+}
+
+func TestCoalesceChain(t *testing.T) {
+	// Four quarters of a slab merge down to one box (two merge steps).
+	var l BoxList
+	for x := 0; x < 8; x += 2 {
+		l = append(l, BoxFromShape(Index{x, 0, 0}, Index{2, 4, 4}))
+	}
+	out := l.Coalesce()
+	if len(out) != 1 {
+		t.Errorf("chain should coalesce to one box, got %v", out)
+	}
+	if out.NumCells() != l.NumCells() {
+		t.Error("coalesce changed cell count")
+	}
+}
+
+func TestCoalesceLeavesNonMergeable(t *testing.T) {
+	l := BoxList{
+		UnitCube(2),
+		UnitCube(2).Shift(Index{5, 0, 0}),      // gap
+		NewBox(Index{0, 2, 0}, Index{3, 3, 1}), // different cross-section
+	}
+	out := l.Coalesce()
+	if len(out) != 3 {
+		t.Errorf("nothing should merge, got %v", out)
+	}
+	if !out.Disjoint() || out.NumCells() != l.NumCells() {
+		t.Error("coalesce corrupted the list")
+	}
+}
+
+func TestCoalesceProperty(t *testing.T) {
+	// For random disjoint tilings: cells preserved, disjointness
+	// preserved, count never grows.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		tiles := BoxList{UnitCube(8)}.SplitEvenly(2 + rng.Intn(20))
+		out := tiles.Coalesce()
+		if out.NumCells() != tiles.NumCells() {
+			t.Fatalf("trial %d: cells changed", trial)
+		}
+		if !out.Disjoint() {
+			t.Fatalf("trial %d: overlap introduced", trial)
+		}
+		if len(out) > len(tiles) {
+			t.Fatalf("trial %d: coalesce grew the list", trial)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package grid
+
+import (
+	"fmt"
+
+	"samrdlb/internal/geom"
+)
+
+// PackRegion serializes the named fields of p over region into a flat
+// slice (field-major, then offset order within the region). The
+// region must lie within the patch's grown box — both sides of a
+// message must agree on the exact cell set.
+func PackRegion(p *Patch, region geom.Box, fields []string) []float64 {
+	g := p.Grown()
+	if !g.ContainsBox(region) {
+		panic(fmt.Sprintf("grid.PackRegion: region %v escapes patch %v", region, g))
+	}
+	n := int(region.NumCells())
+	out := make([]float64, 0, n*len(fields))
+	for _, name := range fields {
+		f := p.Field(name)
+		region.ForEach(func(i geom.Index) {
+			out = append(out, f[g.Offset(i)])
+		})
+	}
+	return out
+}
+
+// UnpackRegion writes data produced by PackRegion with the same
+// region and field list into p.
+func UnpackRegion(p *Patch, region geom.Box, fields []string, data []float64) {
+	g := p.Grown()
+	if !g.ContainsBox(region) {
+		panic(fmt.Sprintf("grid.UnpackRegion: region %v escapes patch %v", region, g))
+	}
+	n := int(region.NumCells())
+	if len(data) != n*len(fields) {
+		panic(fmt.Sprintf("grid.UnpackRegion: got %d values for %d cells × %d fields",
+			len(data), n, len(fields)))
+	}
+	k := 0
+	for _, name := range fields {
+		f := p.Field(name)
+		region.ForEach(func(i geom.Index) {
+			f[g.Offset(i)] = data[k]
+			k++
+		})
+	}
+}

@@ -1,0 +1,304 @@
+// Package grid provides structured grid patches: rectangular blocks of
+// cell-centred field data with ghost zones, plus the inter-patch
+// transfer operators SAMR needs (copy-on-intersection, restriction
+// from fine to coarse, prolongation from coarse to fine).
+//
+// A Patch stores one or more named fields over its grown (interior +
+// ghost) box in x-fastest linear order. All operators are written
+// against geom.Box index arithmetic so they work for any level and any
+// patch placement.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"samrdlb/internal/geom"
+)
+
+// Patch is a rectangular block of cell-centred data on one refinement
+// level. Fields are stored over the grown box (interior plus NGhost
+// ghost cells on every side).
+type Patch struct {
+	// Box is the interior region owned by this patch, in level index
+	// space.
+	Box geom.Box
+	// Level is the refinement level the patch lives on (0 = coarsest).
+	Level int
+	// NGhost is the ghost-zone width on each side.
+	NGhost int
+
+	names  []string
+	fields map[string][]float64
+}
+
+// NewPatch allocates a patch with the given interior box, level, ghost
+// width, and named fields (all zero-initialised).
+func NewPatch(box geom.Box, level, nghost int, fieldNames ...string) *Patch {
+	if box.Empty() {
+		panic(fmt.Sprintf("grid.NewPatch: empty box %v", box))
+	}
+	if nghost < 0 {
+		panic("grid.NewPatch: negative ghost width")
+	}
+	p := &Patch{
+		Box:    box,
+		Level:  level,
+		NGhost: nghost,
+		fields: make(map[string][]float64, len(fieldNames)),
+	}
+	n := int(box.Grow(nghost).NumCells())
+	for _, name := range fieldNames {
+		if _, dup := p.fields[name]; dup {
+			panic("grid.NewPatch: duplicate field " + name)
+		}
+		p.fields[name] = make([]float64, n)
+		p.names = append(p.names, name)
+	}
+	sort.Strings(p.names)
+	return p
+}
+
+// Grown returns the interior box expanded by the ghost width — the
+// region actually backed by storage.
+func (p *Patch) Grown() geom.Box { return p.Box.Grow(p.NGhost) }
+
+// FieldNames returns the patch's field names in sorted order.
+func (p *Patch) FieldNames() []string {
+	out := make([]string, len(p.names))
+	copy(out, p.names)
+	return out
+}
+
+// NumFields returns the number of fields stored on the patch.
+func (p *Patch) NumFields() int { return len(p.names) }
+
+// Field returns the raw storage for a named field (over the grown
+// box). It panics on unknown names: field sets are fixed at
+// construction and a miss is a programming error.
+func (p *Patch) Field(name string) []float64 {
+	f, ok := p.fields[name]
+	if !ok {
+		panic("grid: unknown field " + name)
+	}
+	return f
+}
+
+// HasField reports whether the patch carries the named field.
+func (p *Patch) HasField(name string) bool {
+	_, ok := p.fields[name]
+	return ok
+}
+
+// At returns field value at cell i (which must lie in the grown box).
+func (p *Patch) At(name string, i geom.Index) float64 {
+	return p.Field(name)[p.Grown().Offset(i)]
+}
+
+// Set stores v at cell i of the named field.
+func (p *Patch) Set(name string, i geom.Index, v float64) {
+	p.Field(name)[p.Grown().Offset(i)] = v
+}
+
+// FillConstant sets every cell (including ghosts) of the field to v.
+func (p *Patch) FillConstant(name string, v float64) {
+	f := p.Field(name)
+	for i := range f {
+		f[i] = v
+	}
+}
+
+// FillFunc evaluates fn at every cell of the grown box and stores the
+// result in the named field.
+func (p *Patch) FillFunc(name string, fn func(geom.Index) float64) {
+	f := p.Field(name)
+	g := p.Grown()
+	g.ForEach(func(i geom.Index) {
+		f[g.Offset(i)] = fn(i)
+	})
+}
+
+// Sum returns the sum of the field over the interior box only.
+func (p *Patch) Sum(name string) float64 {
+	f := p.Field(name)
+	g := p.Grown()
+	var s float64
+	p.Box.ForEach(func(i geom.Index) {
+		s += f[g.Offset(i)]
+	})
+	return s
+}
+
+// MaxAbs returns the maximum absolute value over the interior.
+func (p *Patch) MaxAbs(name string) float64 {
+	f := p.Field(name)
+	g := p.Grown()
+	var m float64
+	p.Box.ForEach(func(i geom.Index) {
+		if v := math.Abs(f[g.Offset(i)]); v > m {
+			m = v
+		}
+	})
+	return m
+}
+
+// L2Norm returns the root-mean-square of the field over the interior.
+func (p *Patch) L2Norm(name string) float64 {
+	f := p.Field(name)
+	g := p.Grown()
+	var s float64
+	p.Box.ForEach(func(i geom.Index) {
+		v := f[g.Offset(i)]
+		s += v * v
+	})
+	return math.Sqrt(s / float64(p.Box.NumCells()))
+}
+
+// Clone returns a deep copy of the patch.
+func (p *Patch) Clone() *Patch {
+	q := NewPatch(p.Box, p.Level, p.NGhost, p.names...)
+	for _, name := range p.names {
+		copy(q.fields[name], p.fields[name])
+	}
+	return q
+}
+
+// Bytes returns the in-memory size of the patch's field data, the
+// quantity that matters for migration cost modelling.
+func (p *Patch) Bytes() int64 {
+	return p.Grown().NumCells() * int64(len(p.names)) * 8
+}
+
+// CopyRegion copies the named field over region (in level index space)
+// from src to dst. The region is clipped to both patches' grown boxes,
+// so callers may pass the nominal overlap and let clipping handle
+// ghosts. Both patches must be on the same level.
+func CopyRegion(dst, src *Patch, name string, region geom.Box) {
+	if dst.Level != src.Level {
+		panic("grid.CopyRegion: level mismatch")
+	}
+	r := region.Intersect(dst.Grown()).Intersect(src.Grown())
+	if r.Empty() {
+		return
+	}
+	df, sf := dst.Field(name), src.Field(name)
+	dg, sg := dst.Grown(), src.Grown()
+	r.ForEach(func(i geom.Index) {
+		df[dg.Offset(i)] = sf[sg.Offset(i)]
+	})
+}
+
+// Restrict averages the fine patch's field over each coarse cell of
+// the overlap and stores it into the coarse patch. The refinement
+// factor r relates the two levels (fine.Level = coarse.Level+1).
+func Restrict(coarse, fine *Patch, name string, r int) {
+	if fine.Level != coarse.Level+1 {
+		panic("grid.Restrict: fine must be exactly one level finer")
+	}
+	overlap := coarse.Box.Intersect(fine.Box.Coarsen(r))
+	if overlap.Empty() {
+		return
+	}
+	cf, ff := coarse.Field(name), fine.Field(name)
+	cg, fg := coarse.Grown(), fine.Grown()
+	inv := 1.0 / float64(r*r*r)
+	overlap.ForEach(func(c geom.Index) {
+		fineBlock := geom.Box{Lo: c.Scale(r), Hi: c.Scale(r).Add(geom.Index{r - 1, r - 1, r - 1})}
+		fineBlock = fineBlock.Intersect(fine.Box)
+		var s float64
+		fineBlock.ForEach(func(f geom.Index) {
+			s += ff[fg.Offset(f)]
+		})
+		cf[cg.Offset(c)] = s * inv * float64(r*r*r) / float64(fineBlock.NumCells())
+	})
+}
+
+// Prolong fills the fine patch's field over region (fine index space)
+// by piecewise-constant injection from the coarse patch. Used to
+// initialise newly created fine grids and to fill fine ghost cells
+// that have no same-level neighbour.
+func Prolong(fine, coarse *Patch, name string, r int, region geom.Box) {
+	if fine.Level != coarse.Level+1 {
+		panic("grid.Prolong: fine must be exactly one level finer")
+	}
+	reg := region.Intersect(fine.Grown())
+	if reg.Empty() {
+		return
+	}
+	cf, ff := coarse.Field(name), fine.Field(name)
+	cg, fg := coarse.Grown(), fine.Grown()
+	reg.ForEach(func(f geom.Index) {
+		c := f.FloorDiv(r)
+		if !cg.Contains(c) {
+			return
+		}
+		ff[fg.Offset(f)] = cf[cg.Offset(c)]
+	})
+}
+
+// ProlongLinear fills the fine patch's field over region (fine index
+// space) by trilinear interpolation of the coarse patch — the
+// higher-order prolongation multigrid needs for textbook convergence
+// rates. Coarse values are read cell-centred; fine cells whose
+// interpolation stencil leaves the coarse patch's grown box fall back
+// to piecewise-constant injection.
+func ProlongLinear(fine, coarse *Patch, name string, r int, region geom.Box) {
+	if fine.Level != coarse.Level+1 {
+		panic("grid.ProlongLinear: fine must be exactly one level finer")
+	}
+	reg := region.Intersect(fine.Grown())
+	if reg.Empty() {
+		return
+	}
+	cf, ff := coarse.Field(name), fine.Field(name)
+	cg, fg := coarse.Grown(), fine.Grown()
+	rf := float64(r)
+	reg.ForEach(func(f geom.Index) {
+		// Fine cell centre in coarse cell-centred coordinates.
+		var base geom.Index
+		var w [3]float64
+		ok := true
+		for d := 0; d < 3; d++ {
+			x := (float64(f[d])+0.5)/rf - 0.5
+			lo := int(x)
+			if x < 0 {
+				lo = -1
+			}
+			if float64(lo) > x {
+				lo--
+			}
+			base[d] = lo
+			w[d] = x - float64(lo)
+		}
+		hi := base.Add(geom.Index{1, 1, 1})
+		if !cg.Contains(base) || !cg.Contains(hi) {
+			c := f.FloorDiv(r)
+			if cg.Contains(c) {
+				ff[fg.Offset(f)] = cf[cg.Offset(c)]
+			}
+			ok = false
+		}
+		if !ok {
+			return
+		}
+		var v float64
+		for dz := 0; dz < 2; dz++ {
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					c := base.Add(geom.Index{dx, dy, dz})
+					weight := lerpW(w[0], dx) * lerpW(w[1], dy) * lerpW(w[2], dz)
+					v += weight * cf[cg.Offset(c)]
+				}
+			}
+		}
+		ff[fg.Offset(f)] = v
+	})
+}
+
+func lerpW(w float64, side int) float64 {
+	if side == 1 {
+		return w
+	}
+	return 1 - w
+}

@@ -1,0 +1,213 @@
+// Package load implements the paper's workload bookkeeping and the
+// heuristic gain/cost evaluation for global redistribution
+// (Section 4.2–4.3):
+//
+//	Cost = (α + β·W) + δ                               (Eq. 1)
+//	W^i_group(t)  = Σ_{proc∈group} w^i_proc(t)          (Eq. 2)
+//	W_group(t)    = Σ_i W^i_group(t) · N^i_iter(t)      (Eq. 3)
+//	Gain = T(t) · (max W_group − min W_group)
+//	       / (NumGroups · max W_group)                  (Eq. 4)
+//
+// Between two level-0 iterations the Recorder accumulates the
+// per-processor workload at each level (w^i_proc), the iteration
+// counts per finer level (N^i_iter), the wall time of the last level-0
+// interval (T), and the computational overhead of the previous
+// redistribution (δ).
+package load
+
+import (
+	"fmt"
+
+	"samrdlb/internal/machine"
+)
+
+// Recorder accumulates the performance data the DLB needs between two
+// iterations at level 0.
+type Recorder struct {
+	nproc    int
+	maxLevel int
+	// w[proc][level] is the workload (weighted cells advanced per
+	// level iteration) processor proc held at that level during the
+	// current interval; the paper's w^i_proc(t).
+	w [][]float64
+	// nIter[level] counts iterations of each level within the current
+	// interval; the paper's N^i_iter(t).
+	nIter []int
+	// lastT is T(t): the execution time of the previous level-0
+	// interval.
+	lastT float64
+	// delta is δ: the recorded computational overhead of the previous
+	// global redistribution.
+	delta float64
+}
+
+// NewRecorder returns a recorder for nproc processors and levels
+// 0..maxLevel.
+func NewRecorder(nproc, maxLevel int) *Recorder {
+	if nproc <= 0 || maxLevel < 0 {
+		panic("load.NewRecorder: bad shape")
+	}
+	r := &Recorder{nproc: nproc, maxLevel: maxLevel}
+	r.ResetInterval()
+	return r
+}
+
+// ResetInterval clears the per-interval accumulators (called after
+// each level-0 step, once the global-balance decision has been made).
+func (r *Recorder) ResetInterval() {
+	r.w = make([][]float64, r.nproc)
+	for i := range r.w {
+		r.w[i] = make([]float64, r.maxLevel+1)
+	}
+	r.nIter = make([]int, r.maxLevel+1)
+}
+
+// RecordLevelWork stores the instantaneous per-level workload for a
+// processor, overwriting the previous snapshot; w^i_proc(t) is the
+// load the processor currently holds at level i. The workload unit is
+// arbitrary but must be consistent (the engine uses cells ×
+// kernel-flops); Eqs. 2–4 use only ratios.
+func (r *Recorder) RecordLevelWork(proc, level int, work float64) {
+	if work < 0 {
+		panic("load.RecordLevelWork: negative work")
+	}
+	r.w[proc][level] = work
+}
+
+// RecordIteration counts one iteration of the given level inside the
+// current interval.
+func (r *Recorder) RecordIteration(level int) {
+	if level < 0 || level > r.maxLevel {
+		panic(fmt.Sprintf("load.RecordIteration: level %d out of range", level))
+	}
+	r.nIter[level]++
+}
+
+// Iterations returns N^i_iter for the current interval.
+func (r *Recorder) Iterations(level int) int { return r.nIter[level] }
+
+// SetIntervalTime records T(t), the execution time of the last
+// level-0 interval.
+func (r *Recorder) SetIntervalTime(t float64) {
+	if t < 0 {
+		panic("load.SetIntervalTime: negative time")
+	}
+	r.lastT = t
+}
+
+// IntervalTime returns the recorded T(t).
+func (r *Recorder) IntervalTime() float64 { return r.lastT }
+
+// SetDelta records δ, the computational overhead observed during the
+// most recent global redistribution (Section 4.2: "the scheme uses
+// history information").
+func (r *Recorder) SetDelta(d float64) {
+	if d < 0 {
+		panic("load.SetDelta: negative delta")
+	}
+	r.delta = d
+}
+
+// Delta returns the recorded δ.
+func (r *Recorder) Delta() float64 { return r.delta }
+
+// ProcWork returns the total workload of a processor over all levels,
+// weighted by the interval's iteration counts (the per-processor
+// analogue of Eq. 3).
+func (r *Recorder) ProcWork(proc int) float64 {
+	var sum float64
+	for l := 0; l <= r.maxLevel; l++ {
+		sum += r.w[proc][l] * float64(max(r.nIter[l], 1))
+	}
+	return sum
+}
+
+// LevelGroupWork returns W^i_group(t) (Eq. 2) for the given group.
+func (r *Recorder) LevelGroupWork(sys *machine.System, group, level int) float64 {
+	var sum float64
+	for _, p := range sys.ProcsInGroup(group) {
+		sum += r.w[p][level]
+	}
+	return sum
+}
+
+// GroupWork returns W_group(t) (Eq. 3): the group's per-level loads
+// weighted by the number of iterations each level runs within one
+// level-0 step.
+func (r *Recorder) GroupWork(sys *machine.System, group int) float64 {
+	var sum float64
+	for l := 0; l <= r.maxLevel; l++ {
+		sum += r.LevelGroupWork(sys, group, l) * float64(max(r.nIter[l], 1))
+	}
+	return sum
+}
+
+// GroupWorks returns W_group for every group.
+func (r *Recorder) GroupWorks(sys *machine.System) []float64 {
+	out := make([]float64, sys.NumGroups())
+	for g := range out {
+		out[g] = r.GroupWork(sys, g)
+	}
+	return out
+}
+
+// Gain evaluates Eq. 4: the estimated reduction in execution time from
+// removing the current inter-group imbalance. The estimate is
+// deliberately conservative (the paper divides by NumGroups·max).
+func (r *Recorder) Gain(sys *machine.System) float64 {
+	works := r.GroupWorks(sys)
+	maxW, minW := works[0], works[0]
+	for _, w := range works[1:] {
+		if w > maxW {
+			maxW = w
+		}
+		if w < minW {
+			minW = w
+		}
+	}
+	if maxW <= 0 {
+		return 0
+	}
+	return r.lastT * (maxW - minW) / (float64(sys.NumGroups()) * maxW)
+}
+
+// ImbalanceRatio returns max/min of the groups' performance-normalised
+// loads (W_group divided by the group's aggregate performance weight).
+// A ratio of 1 is perfect balance. Groups with zero load make the
+// ratio +Inf unless every group is empty, which returns 1.
+func (r *Recorder) ImbalanceRatio(sys *machine.System) float64 {
+	works := r.GroupWorks(sys)
+	first := true
+	var maxN, minN float64
+	for g, w := range works {
+		n := w / sys.GroupPerf(g)
+		if first {
+			maxN, minN = n, n
+			first = false
+			continue
+		}
+		if n > maxN {
+			maxN = n
+		}
+		if n < minN {
+			minN = n
+		}
+	}
+	if maxN == 0 {
+		return 1
+	}
+	if minN == 0 {
+		return maxN * 1e18 // effectively infinite imbalance
+	}
+	return maxN / minN
+}
+
+// Cost evaluates Eq. 1: the time to redistribute W bytes over a link
+// with measured parameters α and β, plus the recorded computational
+// overhead δ.
+func Cost(alpha, beta, bytes, delta float64) float64 {
+	if bytes < 0 {
+		panic("load.Cost: negative size")
+	}
+	return alpha + beta*bytes + delta
+}

@@ -1,0 +1,145 @@
+// Package metrics defines the measured outcome of a SAMR run — total
+// virtual execution time with its compute/communication breakdown —
+// and the derived quantities the paper reports: relative improvement
+// (Figure 7) and efficiency (Figure 8).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"samrdlb/internal/vclock"
+)
+
+// Result is the outcome of one run.
+type Result struct {
+	// Scheme, Dataset and SystemName identify the run.
+	Scheme, Dataset, SystemName string
+	// Procs is the total processor count; PerfSum the summed relative
+	// performance (equal to Procs for homogeneous systems).
+	Procs   int
+	PerfSum float64
+	// Steps is the number of level-0 steps executed.
+	Steps int
+	// Total is the virtual execution time (seconds).
+	Total float64
+	// Breakdown is the per-phase critical-path time.
+	Breakdown [vclock.NumPhases]float64
+	// Utilisation is mean busy / elapsed.
+	Utilisation float64
+	// GlobalEvals counts gain/cost evaluations; GlobalRedists counts
+	// actual global redistributions; LocalMigrations counts grids
+	// moved by the local phase.
+	GlobalEvals, GlobalRedists, LocalMigrations int
+	// MaxCells is the peak total cell count over all levels.
+	MaxCells int64
+}
+
+// Compute returns the compute share of the breakdown.
+func (r *Result) Compute() float64 { return r.Breakdown[vclock.Compute] }
+
+// LocalComm returns intra-group communication time.
+func (r *Result) LocalComm() float64 { return r.Breakdown[vclock.LocalComm] }
+
+// RemoteComm returns inter-group communication time.
+func (r *Result) RemoteComm() float64 { return r.Breakdown[vclock.RemoteComm] }
+
+// Comm returns all communication time.
+func (r *Result) Comm() float64 { return r.LocalComm() + r.RemoteComm() }
+
+// Overhead returns DLB decision, redistribution and regrid time.
+func (r *Result) Overhead() float64 {
+	return r.Breakdown[vclock.DLBOverhead] + r.Breakdown[vclock.Redistribution] + r.Breakdown[vclock.Regrid]
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s on %s (%dp): total %.3fs = compute %.3f + comm %.3f (local %.3f, remote %.3f) + overhead %.3f [util %.2f, redists %d]",
+		r.Dataset, r.Scheme, r.SystemName, r.Procs, r.Total,
+		r.Compute(), r.Comm(), r.LocalComm(), r.RemoteComm(), r.Overhead(),
+		r.Utilisation, r.GlobalRedists)
+}
+
+// Improvement returns the paper's relative improvement in percent:
+// how much smaller `improved` is than `base`.
+func Improvement(base, improved float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (base - improved) / base
+}
+
+// Efficiency is the paper's Figure-8 metric: E(1) / (E · P), where
+// E(1) is the sequential execution time, E the distributed execution
+// time, and P the summed relative processor performance.
+func Efficiency(e1, e, perfSum float64) float64 {
+	if e <= 0 || perfSum <= 0 {
+		return 0
+	}
+	return e1 / (e * perfSum)
+}
+
+// Table renders rows of (label, values...) with a header, aligned for
+// terminal output — the textual equivalent of the paper's bar charts.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row (stringifying each cell with %v, floats with
+// 3 decimals).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

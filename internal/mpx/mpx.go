@@ -1,0 +1,227 @@
+// Package mpx is a minimal in-process message-passing runtime in the
+// style of MPI, the substrate ENZO uses for inter-processor
+// communication. A World holds n ranks; each rank runs on its own
+// goroutine with point-to-point tagged sends and receives, barriers,
+// and the collectives the SAMR machinery needs (reduce, gather,
+// broadcast).
+//
+// Sends are buffered and never block (mailboxes grow as needed), so
+// bulk-synchronous exchange patterns — every rank posting all its
+// sends, then draining its receives — cannot deadlock. Receives match
+// (source, tag) pairs and tolerate out-of-order arrival.
+package mpx
+
+import (
+	"fmt"
+	"sync"
+)
+
+// World is a communicator over n ranks.
+type World struct {
+	n     int
+	boxes [][]*mailbox // boxes[dst][src]
+	bar   *barrier
+}
+
+// NewWorld creates a communicator with n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic("mpx.NewWorld: need at least one rank")
+	}
+	w := &World{n: n, bar: newBarrier(n)}
+	w.boxes = make([][]*mailbox, n)
+	for dst := 0; dst < n; dst++ {
+		w.boxes[dst] = make([]*mailbox, n)
+		for src := 0; src < n; src++ {
+			w.boxes[dst][src] = newMailbox()
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Run executes body once per rank, each on its own goroutine, and
+// waits for all of them. A panic in any rank is re-raised in the
+// caller after the others finish.
+func (w *World) Run(body func(r *Rank)) {
+	var wg sync.WaitGroup
+	panics := make([]interface{}, w.n)
+	wg.Add(w.n)
+	for i := 0; i < w.n; i++ {
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[id] = p
+				}
+			}()
+			body(&Rank{world: w, id: id})
+		}(i)
+	}
+	wg.Wait()
+	for id, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpx: rank %d panicked: %v", id, p))
+		}
+	}
+}
+
+// Rank is one process of the world, valid only inside Run's body.
+type Rank struct {
+	world *World
+	id    int
+}
+
+// ID returns the rank index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.n }
+
+// Send delivers data to rank `to` under the given tag. The slice is
+// copied; Send never blocks. Sending to oneself is allowed.
+func (r *Rank) Send(to, tag int, data []float64) {
+	if to < 0 || to >= r.world.n {
+		panic(fmt.Sprintf("mpx.Send: bad destination %d", to))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	r.world.boxes[to][r.id].put(message{tag: tag, data: cp})
+}
+
+// Recv blocks until a message with the given tag arrives from rank
+// `from` and returns its payload. Messages from the same source with
+// other tags are queued, not lost.
+func (r *Rank) Recv(from, tag int) []float64 {
+	if from < 0 || from >= r.world.n {
+		panic(fmt.Sprintf("mpx.Recv: bad source %d", from))
+	}
+	return r.world.boxes[r.id][from].take(tag)
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() { r.world.bar.await() }
+
+// reserved tag space for collectives; user tags must be >= 0.
+const (
+	tagReduce = -1 - iota
+	tagBcast
+	tagGather
+)
+
+// AllReduceSum returns the sum of x over all ranks, on every rank.
+func (r *Rank) AllReduceSum(x float64) float64 {
+	vals := r.AllGather(x)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// AllGather returns every rank's x, indexed by rank, on every rank.
+func (r *Rank) AllGather(x float64) []float64 {
+	n := r.world.n
+	if r.id == 0 {
+		out := make([]float64, n)
+		out[0] = x
+		for src := 1; src < n; src++ {
+			out[src] = r.Recv(src, tagGather)[0]
+		}
+		for dst := 1; dst < n; dst++ {
+			r.Send(dst, tagGather, out)
+		}
+		return out
+	}
+	r.Send(0, tagGather, []float64{x})
+	return r.Recv(0, tagGather)
+}
+
+// Bcast distributes root's data to every rank; non-root ranks pass
+// nil (or anything) and receive the root's payload.
+func (r *Rank) Bcast(root int, data []float64) []float64 {
+	if r.id == root {
+		for dst := 0; dst < r.world.n; dst++ {
+			if dst != root {
+				r.Send(dst, tagBcast, data)
+			}
+		}
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	return r.Recv(root, tagBcast)
+}
+
+// message is one queued transfer.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// mailbox is an unbounded (src → dst) queue with tag matching.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) take(tag int) []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.pending {
+			if msg.tag == tag {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return msg.data
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,39 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"samrdlb/internal/netsim"
+)
+
+func ExampleLink_TransferTime() {
+	// The paper's model: Tcomm = α + β·L.
+	wan := netsim.NewLink("wan", 0.010, 19.375e6, nil) // 10 ms, 155 Mb/s
+	fmt.Printf("%.3f s\n", wan.TransferTime(0, 1<<20))
+	// Output:
+	// 0.064 s
+}
+
+func ExampleLink_Probe() {
+	// Section 4.2: two messages recover α and β under the current
+	// background traffic.
+	wan := netsim.NewLink("wan", 0.010, 1e8, netsim.ConstantTraffic{Level: 0.5})
+	alpha, beta, _ := wan.Probe(0)
+	fmt.Printf("alpha %.0f ms, effective bandwidth %.0f MB/s\n", alpha*1e3, 1/beta/1e6)
+	// Output:
+	// alpha 10 ms, effective bandwidth 50 MB/s
+}
+
+func ExampleSeries() {
+	// NWS-style forecasting: a spike is treated as an outlier once
+	// the history says the link is usually quiet.
+	s := netsim.NewSeries(0)
+	for i := 0; i < 10; i++ {
+		s.Record(1.0)
+	}
+	s.Record(25.0) // burst
+	v, _ := s.Forecast()
+	fmt.Printf("forecast %.1f via %s\n", v, s.Best())
+	// Output:
+	// forecast 1.0 via sliding-median
+}

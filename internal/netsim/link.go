@@ -1,0 +1,141 @@
+package netsim
+
+import "fmt"
+
+// Link is a network connection with the paper's conventional model
+// Tcomm = α + β·L, where α is the one-way latency (seconds), β the
+// transfer cost (seconds per byte, the inverse bandwidth), and L the
+// message size in bytes. A shared link's effective β grows when
+// background traffic consumes part of the bandwidth.
+type Link struct {
+	// Name labels the link in traces ("ANL-local", "MREN", ...).
+	Name string
+	// Alpha is the latency in seconds.
+	Alpha float64
+	// Beta is the nominal transfer cost in seconds per byte.
+	Beta float64
+	// Traffic is the background load model; nil means dedicated.
+	Traffic TrafficModel
+}
+
+// NewLink builds a link from human-friendly units: latency in
+// seconds, bandwidth in bytes per second.
+func NewLink(name string, latency, bandwidth float64, traffic TrafficModel) *Link {
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("netsim.NewLink %s: bandwidth must be positive", name))
+	}
+	return &Link{Name: name, Alpha: latency, Beta: 1 / bandwidth, Traffic: traffic}
+}
+
+// LoadAt returns the background load fraction at time t.
+func (l *Link) LoadAt(t float64) float64 {
+	if l.Traffic == nil {
+		return 0
+	}
+	return clampLoad(l.Traffic.Load(t))
+}
+
+// EffectiveBeta returns the effective transfer cost at time t: the
+// nominal β divided by the free fraction of the bandwidth.
+func (l *Link) EffectiveBeta(t float64) float64 {
+	return l.Beta / (1 - l.LoadAt(t))
+}
+
+// TransferTime returns the time to move `bytes` bytes starting at
+// time `now`: Tcomm = α + β_eff(now)·L. Zero-byte transfers still pay
+// the latency (a message must cross the link).
+func (l *Link) TransferTime(now, bytes float64) float64 {
+	if bytes < 0 {
+		panic("netsim.TransferTime: negative size")
+	}
+	return l.Alpha + l.EffectiveBeta(now)*bytes
+}
+
+// Probe implements the paper's runtime network measurement: "the
+// scheme sends two messages between groups, and calculates the network
+// performance parameters α and β" (Section 4.2). Two messages of
+// different sizes are timed over the link; solving the two linear
+// equations yields the current estimates. The returned probeTime is
+// the wall time the probe itself consumed (charged to DLB overhead).
+func (l *Link) Probe(now float64) (alphaHat, betaHat, probeTime float64) {
+	const l1, l2 = 1 << 10, 1 << 16 // 1 KiB and 64 KiB probes: cheap by design
+	t1 := l.TransferTime(now, l1)
+	t2 := l.TransferTime(now+t1, l2)
+	betaHat = (t2 - t1) / (l2 - l1)
+	alphaHat = t1 - betaHat*l1
+	return alphaHat, betaHat, t1 + t2
+}
+
+// Fabric is the interconnect of a distributed system: one intra-group
+// link per group and one inter-group link per unordered group pair.
+type Fabric struct {
+	intra []*Link
+	inter map[[2]int]*Link
+}
+
+// NewFabric creates a fabric for n groups with no links; callers add
+// them with SetIntra and SetInter.
+func NewFabric(n int) *Fabric {
+	return &Fabric{intra: make([]*Link, n), inter: make(map[[2]int]*Link)}
+}
+
+// NumGroups returns the number of groups the fabric was built for.
+func (f *Fabric) NumGroups() int { return len(f.intra) }
+
+// SetIntra installs the intra-group link for group g.
+func (f *Fabric) SetIntra(g int, l *Link) { f.intra[g] = l }
+
+// SetInter installs the link between groups a and b (order
+// irrelevant).
+func (f *Fabric) SetInter(a, b int, l *Link) {
+	f.inter[groupKey(a, b)] = l
+}
+
+// Intra returns group g's internal link.
+func (f *Fabric) Intra(g int) *Link {
+	l := f.intra[g]
+	if l == nil {
+		panic(fmt.Sprintf("netsim.Fabric: no intra link for group %d", g))
+	}
+	return l
+}
+
+// Between returns the link connecting groups a and b; for a == b it
+// returns the intra-group link.
+func (f *Fabric) Between(a, b int) *Link {
+	if a == b {
+		return f.Intra(a)
+	}
+	l := f.inter[groupKey(a, b)]
+	if l == nil {
+		panic(fmt.Sprintf("netsim.Fabric: no link between groups %d and %d", a, b))
+	}
+	return l
+}
+
+func groupKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Standard link constructors for the systems in the paper.
+
+// GigabitLAN returns a fiber Gigabit Ethernet LAN link like the one
+// joining the two ANL machines (shared, low latency).
+func GigabitLAN(traffic TrafficModel) *Link {
+	return NewLink("gige-lan", 500e-6, 125e6, traffic) // 0.5 ms TCP, 1 Gb/s
+}
+
+// MrenWAN returns an ATM OC-3 wide-area link like MREN between ANL
+// and NCSA (shared, high latency, 155 Mb/s).
+func MrenWAN(traffic TrafficModel) *Link {
+	return NewLink("mren-oc3", 10e-3, 19.375e6, traffic) // 10 ms, 155 Mb/s
+}
+
+// OriginInterconnect returns an SGI Origin2000-class internal
+// interconnect (dedicated, sub-microsecond latency).
+func OriginInterconnect() *Link {
+	return NewLink("origin-ccnuma", 1e-6, 500e6, nil)
+}

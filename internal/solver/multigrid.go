@@ -1,0 +1,148 @@
+package solver
+
+import (
+	"samrdlb/internal/geom"
+	"samrdlb/internal/grid"
+)
+
+// Multigrid solves the Poisson equation ∇²φ = ρ on a single patch
+// with a geometric V-cycle: red-black Gauss–Seidel smoothing, full
+// residual restriction, piecewise-constant correction prolongation,
+// recursing down to a small coarsest grid. It converges in a handful
+// of cycles where plain relaxation needs hundreds of sweeps — the
+// practical elliptic engine for the AMR64-style workload.
+//
+// Boundary conditions are Dirichlet, taken from the patch's current
+// ghost values (corrections use homogeneous ghosts, preserving the
+// boundary data).
+type Multigrid struct {
+	// PreSmooth and PostSmooth are the GS sweeps around each
+	// coarse-grid correction (defaults 2 and 2).
+	PreSmooth, PostSmooth int
+	// Cycles is the number of V-cycles per Step (default 2).
+	Cycles int
+	// CoarsestSize stops coarsening when any extent drops to this
+	// size or below (default 4); the coarsest level is smoothed hard.
+	CoarsestSize int
+}
+
+// Name implements Kernel.
+func (mg Multigrid) Name() string { return "multigrid-poisson" }
+
+// Fields implements Kernel.
+func (mg Multigrid) Fields() []string { return []string{FieldPhi, FieldRho} }
+
+// FlopsPerCell implements Kernel: a V-cycle visits ~8/7 of the fine
+// cells with (pre+post) smoothing sweeps plus residual/transfer work.
+func (mg Multigrid) FlopsPerCell() float64 {
+	return 1.15 * float64(mg.pre()+mg.post()+2) * 10 * float64(mg.cycles())
+}
+
+func (mg Multigrid) pre() int {
+	if mg.PreSmooth <= 0 {
+		return 2
+	}
+	return mg.PreSmooth
+}
+
+func (mg Multigrid) post() int {
+	if mg.PostSmooth <= 0 {
+		return 2
+	}
+	return mg.PostSmooth
+}
+
+func (mg Multigrid) cycles() int {
+	if mg.Cycles <= 0 {
+		return 2
+	}
+	return mg.Cycles
+}
+
+func (mg Multigrid) coarsest() int {
+	if mg.CoarsestSize <= 0 {
+		return 4
+	}
+	return mg.CoarsestSize
+}
+
+// Step implements Kernel: it runs the configured V-cycles (dt is
+// ignored; the elliptic problem is quasi-static within a step).
+func (mg Multigrid) Step(p *grid.Patch, _ float64, dx float64) {
+	checkFields(p, mg)
+	for c := 0; c < mg.cycles(); c++ {
+		mg.vcycle(p, dx)
+	}
+}
+
+// Solve iterates V-cycles until the max-norm residual falls below tol
+// (or maxCycles is hit) and reports the cycle count and final
+// residual.
+func (mg Multigrid) Solve(p *grid.Patch, dx, tol float64, maxCycles int) (cycles int, residual float64) {
+	checkFields(p, mg)
+	for cycles = 0; cycles < maxCycles; cycles++ {
+		residual = Residual(p, dx)
+		if residual <= tol {
+			return cycles, residual
+		}
+		mg.vcycle(p, dx)
+	}
+	return cycles, Residual(p, dx)
+}
+
+// vcycle performs one V-cycle on the patch in place.
+func (mg Multigrid) vcycle(p *grid.Patch, dx float64) {
+	gs := GaussSeidel{Sweeps: mg.pre()}
+	s := p.Box.Shape()
+	if min(s[0], min(s[1], s[2])) <= mg.coarsest() || s[0]%2 != 0 || s[1]%2 != 0 || s[2]%2 != 0 {
+		// Coarsest (or un-coarsenable) level: smooth hard.
+		GaussSeidel{Sweeps: 20}.Step(p, 0, dx)
+		return
+	}
+	// Pre-smooth.
+	gs.Step(p, 0, dx)
+
+	// Residual r = ρ − ∇²φ on the fine level.
+	res := grid.NewPatch(p.Box, p.Level, p.NGhost, FieldPhi, FieldRho)
+	phi := p.Field(FieldPhi)
+	rho := p.Field(FieldRho)
+	rr := res.Field(FieldRho)
+	g := p.Grown()
+	sh := g.Shape()
+	stride := [3]int{1, sh[0], sh[0] * sh[1]}
+	h2 := dx * dx
+	rg := res.Grown()
+	p.Box.ForEach(func(i geom.Index) {
+		off := g.Offset(i)
+		lap := (phi[off-stride[0]] + phi[off+stride[0]] +
+			phi[off-stride[1]] + phi[off+stride[1]] +
+			phi[off-stride[2]] + phi[off+stride[2]] - 6*phi[off]) / h2
+		rr[rg.Offset(i)] = rho[off] - lap
+	})
+
+	// Coarse-grid correction: restrict the residual, solve the error
+	// equation with zero initial guess and zero Dirichlet ghosts,
+	// prolong and add.
+	cBox := p.Box.Coarsen(2)
+	coarse := grid.NewPatch(cBox, p.Level, p.NGhost, FieldPhi, FieldRho)
+	grid.Restrict(shiftLevel(coarse, p.Level-1), shiftLevel(res, p.Level), FieldRho, 2)
+	mg.vcycle(coarse, 2*dx)
+	corr := grid.NewPatch(p.Box, p.Level, p.NGhost, FieldPhi, FieldRho)
+	grid.ProlongLinear(shiftLevel(corr, p.Level), shiftLevel(coarse, p.Level-1), FieldPhi, 2, corr.Box)
+	cf := corr.Field(FieldPhi)
+	cg := corr.Grown()
+	p.Box.ForEach(func(i geom.Index) {
+		phi[g.Offset(i)] += cf[cg.Offset(i)]
+	})
+
+	// Post-smooth.
+	GaussSeidel{Sweeps: mg.post()}.Step(p, 0, dx)
+}
+
+// shiftLevel relabels a patch's level so grid.Restrict/Prolong accept
+// the pair; the multigrid pyramid reuses the AMR transfer operators
+// between its internal levels.
+func shiftLevel(p *grid.Patch, level int) *grid.Patch {
+	p.Level = level
+	return p
+}

@@ -1,0 +1,61 @@
+package solver
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool runs patch kernels in parallel across host cores. The
+// distributed execution model charges virtual time per simulated
+// processor, but the arithmetic itself is genuinely parallel Go: each
+// simulated processor's grids are advanced by worker goroutines.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool with the given worker count; n <= 0 selects
+// GOMAXPROCS workers.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the pool's concurrency.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach invokes fn(i) for i in [0,n) across the pool's workers and
+// waits for completion. fn must be safe to call concurrently for
+// distinct i.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

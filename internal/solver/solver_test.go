@@ -1,0 +1,343 @@
+package solver
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"samrdlb/internal/geom"
+	"samrdlb/internal/grid"
+)
+
+func newQPatch(n, ng int) *grid.Patch {
+	return grid.NewPatch(geom.UnitCube(n), 0, ng, FieldQ)
+}
+
+func TestAdvectionConservesMassPeriodic(t *testing.T) {
+	p := newQPatch(12, 1)
+	p.FillFunc(FieldQ, func(i geom.Index) float64 {
+		return math.Sin(2*math.Pi*float64(i[0])/12) + 2
+	})
+	k := Advection3D{Vel: [3]float64{1, 0.5, -0.25}}
+	dx := 1.0 / 12
+	dt := MaxStableDt(k.MaxSpeed(), dx, 0.5)
+	before := p.Sum(FieldQ)
+	for s := 0; s < 20; s++ {
+		PeriodicFill(p, FieldQ)
+		k.Step(p, dt, dx)
+	}
+	after := p.Sum(FieldQ)
+	if math.Abs(after-before) > 1e-9*math.Abs(before) {
+		t.Errorf("mass not conserved: %v -> %v", before, after)
+	}
+}
+
+func TestAdvectionTranslatesProfile(t *testing.T) {
+	// Advect a profile exactly one cell per step (CFL=1 upwind is
+	// exact for 1-D motion): after n steps the profile shifts n cells.
+	n := 8
+	p := newQPatch(n, 1)
+	p.FillFunc(FieldQ, func(i geom.Index) float64 {
+		if i[0] == 2 {
+			return 1
+		}
+		return 0
+	})
+	k := Advection3D{Vel: [3]float64{1, 0, 0}}
+	dx := 1.0
+	dt := 1.0 // CFL exactly 1
+	PeriodicFill(p, FieldQ)
+	k.Step(p, dt, dx)
+	if got := p.At(FieldQ, geom.Index{3, 3, 3}); got != 1 {
+		t.Errorf("profile did not shift: q(3)= %v", got)
+	}
+	if got := p.At(FieldQ, geom.Index{2, 3, 3}); got != 0 {
+		t.Errorf("old position not cleared: q(2)= %v", got)
+	}
+}
+
+func TestAdvectionNegativeVelocityUpwinding(t *testing.T) {
+	n := 8
+	p := newQPatch(n, 1)
+	p.FillFunc(FieldQ, func(i geom.Index) float64 {
+		if i[1] == 5 {
+			return 1
+		}
+		return 0
+	})
+	k := Advection3D{Vel: [3]float64{0, -1, 0}}
+	PeriodicFill(p, FieldQ)
+	k.Step(p, 1.0, 1.0)
+	if got := p.At(FieldQ, geom.Index{3, 4, 3}); got != 1 {
+		t.Errorf("profile should move to y=4, got q= %v", got)
+	}
+}
+
+func TestAdvectionStability(t *testing.T) {
+	// Under the CFL limit the max must not grow (monotone scheme).
+	p := newQPatch(10, 1)
+	p.FillFunc(FieldQ, func(i geom.Index) float64 {
+		if i[0] == 5 && i[1] == 5 && i[2] == 5 {
+			return 1
+		}
+		return 0
+	})
+	k := Advection3D{Vel: [3]float64{1, 1, 1}}
+	dx := 0.1
+	dt := MaxStableDt(k.MaxSpeed(), dx, 0.9)
+	for s := 0; s < 50; s++ {
+		PeriodicFill(p, FieldQ)
+		k.Step(p, dt, dx)
+		if m := p.MaxAbs(FieldQ); m > 1.0+1e-12 {
+			t.Fatalf("monotone scheme overshot at step %d: max %v", s, m)
+		}
+	}
+}
+
+func TestLaxFriedrichsConservesMass(t *testing.T) {
+	p := newQPatch(10, 1)
+	p.FillFunc(FieldQ, func(i geom.Index) float64 { return float64(i[0]%3) + 1 })
+	k := LaxFriedrichs3D{Vel: [3]float64{0.7, -0.3, 0.1}}
+	dx := 0.1
+	dt := MaxStableDt(k.MaxSpeed(), dx, 0.4)
+	before := p.Sum(FieldQ)
+	for s := 0; s < 10; s++ {
+		PeriodicFill(p, FieldQ)
+		k.Step(p, dt, dx)
+	}
+	if after := p.Sum(FieldQ); math.Abs(after-before) > 1e-9*math.Abs(before) {
+		t.Errorf("LF mass not conserved: %v -> %v", before, after)
+	}
+}
+
+func TestLaxFriedrichsConstantPreserved(t *testing.T) {
+	p := newQPatch(6, 1)
+	p.FillConstant(FieldQ, 3.5)
+	k := LaxFriedrichs3D{Vel: [3]float64{1, 1, 1}}
+	PeriodicFill(p, FieldQ)
+	k.Step(p, 0.01, 0.1)
+	p.Box.ForEach(func(i geom.Index) {
+		if math.Abs(p.At(FieldQ, i)-3.5) > 1e-13 {
+			t.Fatalf("constant state not preserved at %v: %v", i, p.At(FieldQ, i))
+		}
+	})
+}
+
+func TestMaxStableDt(t *testing.T) {
+	if got := MaxStableDt(2, 0.1, 0.5); math.Abs(got-0.025) > 1e-15 {
+		t.Errorf("MaxStableDt = %v", got)
+	}
+	if !math.IsInf(MaxStableDt(0, 0.1, 0.5), 1) {
+		t.Error("zero speed should give infinite dt")
+	}
+}
+
+func TestGaussSeidelReducesResidual(t *testing.T) {
+	p := grid.NewPatch(geom.UnitCube(8), 0, 1, FieldPhi, FieldRho)
+	p.FillFunc(FieldRho, func(i geom.Index) float64 {
+		if i == (geom.Index{4, 4, 4}) {
+			return 1
+		}
+		return 0
+	})
+	dx := 1.0 / 8
+	r0 := Residual(p, dx)
+	gs := GaussSeidel{Sweeps: 10}
+	gs.Step(p, 0, dx)
+	r1 := Residual(p, dx)
+	gs.Step(p, 0, dx)
+	r2 := Residual(p, dx)
+	if !(r1 < r0 && r2 < r1) {
+		t.Errorf("residual not decreasing: %v %v %v", r0, r1, r2)
+	}
+}
+
+func TestGaussSeidelConvergesToSolution(t *testing.T) {
+	// Zero source with zero Dirichlet boundary: φ must relax to 0.
+	p := grid.NewPatch(geom.UnitCube(6), 0, 1, FieldPhi, FieldRho)
+	p.FillFunc(FieldPhi, func(i geom.Index) float64 {
+		if p.Box.Contains(i) {
+			return 1 // interior initial guess
+		}
+		return 0 // boundary condition in ghosts
+	})
+	gs := GaussSeidel{Sweeps: 200, Omega: 1.5}
+	gs.Step(p, 0, 1.0/6)
+	if m := p.MaxAbs(FieldPhi); m > 1e-6 {
+		t.Errorf("phi did not relax to zero: max %v", m)
+	}
+}
+
+func TestGaussSeidelDefaults(t *testing.T) {
+	gs := GaussSeidel{}
+	if gs.sweeps() != 4 || gs.omega() != 1.0 {
+		t.Errorf("defaults wrong: %d %v", gs.sweeps(), gs.omega())
+	}
+	if gs.FlopsPerCell() != 40 {
+		t.Errorf("FlopsPerCell = %v", gs.FlopsPerCell())
+	}
+}
+
+func TestKernelFieldCheckPanics(t *testing.T) {
+	p := grid.NewPatch(geom.UnitCube(4), 0, 1, "other")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for missing field")
+		}
+	}()
+	Advection3D{}.Step(p, 0.1, 0.1)
+}
+
+func TestParticleLeapfrogBoundedOrbit(t *testing.T) {
+	ps := &ParticleSet{
+		Particles: []Particle{{Pos: [3]float64{0.6, 0.5, 0.5}, Vel: [3]float64{0, 0.3, 0}, Mass: 1}},
+		Centers:   [][3]float64{{0.5, 0.5, 0.5}},
+		G:         0.01,
+		Domain:    1,
+	}
+	for s := 0; s < 2000; s++ {
+		ps.Step(0.01)
+		p := ps.Particles[0].Pos
+		for d := 0; d < 3; d++ {
+			if p[d] < 0 || p[d] >= 1 {
+				t.Fatalf("particle escaped periodic domain: %v", p)
+			}
+		}
+	}
+	if e := ps.KineticEnergy(); math.IsNaN(e) || math.IsInf(e, 0) || e > 100 {
+		t.Errorf("kinetic energy blew up: %v", e)
+	}
+}
+
+func TestParticleFreeStreaming(t *testing.T) {
+	ps := &ParticleSet{
+		Particles: []Particle{{Pos: [3]float64{0.1, 0.1, 0.1}, Vel: [3]float64{0.1, 0, 0}, Mass: 1}},
+		Domain:    1,
+	}
+	for s := 0; s < 95; s++ {
+		ps.Step(0.1)
+	}
+	// No force: x = 0.1 + 95*0.1*0.1 = 1.05 -> wraps to 0.05.
+	if got := ps.Particles[0].Pos[0]; math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("free streaming pos = %v", got)
+	}
+}
+
+func TestParticleCountInRegion(t *testing.T) {
+	ps := &ParticleSet{Particles: []Particle{
+		{Pos: [3]float64{0.1, 0.1, 0.1}},
+		{Pos: [3]float64{0.6, 0.6, 0.6}},
+		{Pos: [3]float64{0.4, 0.4, 0.4}},
+	}}
+	n := ps.CountInRegion([3]float64{0, 0, 0}, [3]float64{0.5, 0.5, 0.5})
+	if n != 2 {
+		t.Errorf("CountInRegion = %d", n)
+	}
+}
+
+func TestPoolForEachCoversAll(t *testing.T) {
+	p := NewPool(4)
+	var hits [100]int32
+	p.ForEach(100, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestPoolSingleWorkerAndEmpty(t *testing.T) {
+	p := NewPool(1)
+	sum := 0
+	p.ForEach(10, func(i int) { sum += i }) // sequential path, no race
+	if sum != 45 {
+		t.Errorf("sum = %d", sum)
+	}
+	p.ForEach(0, func(int) { t.Error("must not be called") })
+	if NewPool(0).Workers() < 1 {
+		t.Error("default pool must have at least one worker")
+	}
+}
+
+func TestKernelMetadata(t *testing.T) {
+	ks := []Kernel{Advection3D{}, LaxFriedrichs3D{}, GaussSeidel{}}
+	for _, k := range ks {
+		if k.Name() == "" || k.FlopsPerCell() <= 0 || len(k.Fields()) == 0 {
+			t.Errorf("kernel %T metadata incomplete", k)
+		}
+	}
+}
+
+func TestAdvectionFirstOrderConvergence(t *testing.T) {
+	// Advect a smooth profile one revolution on periodic grids of two
+	// resolutions: the L1 error of the first-order upwind scheme must
+	// shrink by roughly 2x when dx halves.
+	errAt := func(n int) float64 {
+		p := grid.NewPatch(geom.UnitCube(n), 0, 1, FieldQ)
+		exact := func(x float64) float64 { return math.Sin(2 * math.Pi * x) }
+		p.FillFunc(FieldQ, func(i geom.Index) float64 {
+			return exact((float64(i[0]) + 0.5) / float64(n))
+		})
+		k := Advection3D{Vel: [3]float64{1, 0, 0}}
+		dx := 1.0 / float64(n)
+		steps := 2 * n // CFL 0.5, half a revolution
+		dt := 0.5 * dx
+		for s := 0; s < steps; s++ {
+			PeriodicFill(p, FieldQ)
+			k.Step(p, dt, dx)
+		}
+		// After time = steps*dt = 1.0*...: travelled distance = steps*dt*v = n*dx = 1 -> full revolution.
+		var err float64
+		p.Box.ForEach(func(i geom.Index) {
+			x := (float64(i[0]) + 0.5) / float64(n)
+			err += math.Abs(p.At(FieldQ, i) - exact(x))
+		})
+		return err / float64(p.Box.NumCells())
+	}
+	e1, e2 := errAt(16), errAt(32)
+	ratio := e1 / e2
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("first-order convergence ratio = %v (errors %v, %v), want ~2", ratio, e1, e2)
+	}
+}
+
+func TestMultigridSolutionMatchesAnalytic(t *testing.T) {
+	// ∇²φ = ρ with ρ chosen so φ = Π sin(πx_d) is the exact solution
+	// (up to discretisation error): the solve must approach it at
+	// second order in dx.
+	solveErr := func(n int) float64 {
+		p := grid.NewPatch(geom.UnitCube(n), 0, 1, FieldPhi, FieldRho)
+		dx := 1.0 / float64(n)
+		exact := func(i geom.Index) float64 {
+			v := 1.0
+			for d := 0; d < 3; d++ {
+				v *= math.Sin(math.Pi * (float64(i[d]) + 0.5) * dx)
+			}
+			return v
+		}
+		p.FillFunc(FieldRho, func(i geom.Index) float64 {
+			return -3 * math.Pi * math.Pi * exact(i)
+		})
+		// Dirichlet ghosts: the exact solution evaluated outside.
+		g := p.Grown()
+		g.ForEach(func(i geom.Index) {
+			if !p.Box.Contains(i) {
+				p.Set(FieldPhi, i, exact(i))
+			}
+		})
+		Multigrid{}.Solve(p, dx, 1e-10, 60)
+		var worst float64
+		p.Box.ForEach(func(i geom.Index) {
+			e := math.Abs(p.At(FieldPhi, i) - exact(i))
+			if e > worst {
+				worst = e
+			}
+		})
+		return worst
+	}
+	e1, e2 := solveErr(8), solveErr(16)
+	ratio := e1 / e2
+	if ratio < 3 || ratio > 6 {
+		t.Errorf("second-order convergence ratio = %v (errors %v, %v), want ~4", ratio, e1, e2)
+	}
+}

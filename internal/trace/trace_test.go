@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New()
+	r.Add(Step, 0, 0.1, "")
+	r.Add(Step, 1, 0.2, "")
+	r.Add(LocalBalance, 1, 0.25, "migrations=2")
+	r.Add(GlobalCheck, 0, 0.3, "gain=1 cost=2")
+	if got := r.StepLevels(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("StepLevels = %v", got)
+	}
+	if r.Count(Step) != 2 || r.Count(GlobalCheck) != 1 || r.Count(Redistribution) != 0 {
+		t.Error("Count wrong")
+	}
+	if evs := r.OfKind(LocalBalance); len(evs) != 1 || evs[0].Note != "migrations=2" {
+		t.Errorf("OfKind = %v", evs)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(Step, 0, 0, "") // must not panic
+	if r.StepLevels() != nil || r.Count(Step) != 0 || r.OfKind(Step) != nil || r.String() != "" {
+		t.Error("nil recorder must behave as empty")
+	}
+}
+
+func TestString(t *testing.T) {
+	r := New()
+	r.Add(Redistribution, 0, 1.5, "bytes=42")
+	s := r.String()
+	if !strings.Contains(s, "redistribution") || !strings.Contains(s, "bytes=42") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestOrderDiagram(t *testing.T) {
+	r := New()
+	for _, l := range []int{0, 1, 1} {
+		r.Add(Step, l, 0, "")
+	}
+	d := r.OrderDiagram(1)
+	if !strings.Contains(d, "level 0: 1") || !strings.Contains(d, "level 1: 2 3") {
+		t.Errorf("OrderDiagram = %q", d)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		Step: "step", LocalBalance: "local-balance", GlobalCheck: "global-check",
+		Redistribution: "redistribution", Regrid: "regrid", Kind(99): "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s", k, k.String())
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := New()
+	r.Add(Step, 2, 1.25, "")
+	r.Add(GlobalCheck, 0, 2.5, "gain=1")
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0]["kind"] != "step" || events[0]["level"].(float64) != 2 {
+		t.Errorf("first event wrong: %v", events[0])
+	}
+	if events[1]["note"] != "gain=1" {
+		t.Errorf("note lost: %v", events[1])
+	}
+	// Nil recorder emits an empty (null) array without error.
+	var nr *Recorder
+	buf.Reset()
+	if err := nr.WriteJSON(&buf); err != nil {
+		t.Errorf("nil WriteJSON: %v", err)
+	}
+}
