@@ -13,6 +13,7 @@ import (
 
 	"samrdlb/internal/dlb"
 	"samrdlb/internal/engine"
+	"samrdlb/internal/fault"
 	"samrdlb/internal/machine"
 	"samrdlb/internal/metrics"
 	"samrdlb/internal/netsim"
@@ -37,6 +38,9 @@ func main() {
 		traceOut = flag.Bool("trace", false, "print the event trace")
 		series   = flag.Bool("series", false, "print per-step time series")
 		saveTo   = flag.String("save", "", "write a hierarchy checkpoint to this file after the run")
+		faultsIn = flag.String("faults", "", "fault script file (see internal/fault): enables fault injection")
+		faultSd  = flag.Int64("faultseed", 0, "fault schedule seed (0 = use -seed)")
+		ckptIval = flag.Int("ckpt-interval", 0, "level-0 steps between recovery checkpoints (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -84,17 +88,47 @@ func main() {
 		os.Exit(2)
 	}
 
+	var sched *fault.Schedule
+	if *faultsIn != "" {
+		f, err := os.Open(*faultsIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(2)
+		}
+		events, err := fault.ParseScript(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(2)
+		}
+		fseed := *faultSd
+		if fseed == 0 {
+			fseed = *seed
+		}
+		sched, err = fault.NewSchedule(fseed, events...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(2)
+		}
+		if err := sched.Validate(sys.NumProcs(), sys.NumGroups()); err != nil {
+			fmt.Fprintf(os.Stderr, "faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	tr := trace.New()
 	hist := metrics.NewHistory()
 	runner := engine.New(sys, driver, engine.Options{
-		Steps:    *steps,
-		Balancer: bal,
-		Gamma:    *gamma,
-		MaxLevel: *maxLevel,
-		WithData: *withData,
-		Pool:     solver.NewPool(0),
-		Trace:    tr,
-		History:  hist,
+		Steps:              *steps,
+		Balancer:           bal,
+		Gamma:              *gamma,
+		MaxLevel:           *maxLevel,
+		WithData:           *withData,
+		Pool:               solver.NewPool(0),
+		Trace:              tr,
+		History:            hist,
+		Faults:             sched,
+		CheckpointInterval: *ckptIval,
 	})
 	res := runner.Run()
 
@@ -108,6 +142,9 @@ func main() {
 		res.GlobalEvals, res.GlobalRedists, res.LocalMigrations)
 	fmt.Print(runner.Hierarchy().Summarize())
 	fmt.Printf("peak cells (all levels): %d, utilisation: %.2f\n", res.MaxCells, res.Utilisation)
+	if res.Faulty() {
+		fmt.Printf("\nFault injection summary:\n%s", res.FaultSummary())
+	}
 
 	if *saveTo != "" {
 		f, err := os.Create(*saveTo)

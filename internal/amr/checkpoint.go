@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"samrdlb/internal/geom"
 )
@@ -74,20 +75,138 @@ func (h *Hierarchy) Save(w io.Writer) error {
 	return nil
 }
 
+// Sanity caps for checkpoint streams: anything beyond these is a
+// corrupt or hostile file, not a plausible SAMR run.
+const (
+	maxLoadRefFactor = 16
+	maxLoadMaxLevel  = 32
+	maxLoadNGhost    = 16
+	maxLoadFields    = 64
+	maxLoadGrids     = 1 << 22
+	maxLoadExtent    = 1 << 31 // finest-level domain extent per dimension
+)
+
+// validateHeader rejects corrupt or absurd checkpoint headers before
+// any of New's panicking invariants can fire.
+func (hdr *checkpointHeader) validate() error {
+	if hdr.Domain.Empty() {
+		return fmt.Errorf("empty domain %v", hdr.Domain)
+	}
+	if hdr.RefFactor < 2 || hdr.RefFactor > maxLoadRefFactor {
+		return fmt.Errorf("refinement factor %d outside [2,%d]", hdr.RefFactor, maxLoadRefFactor)
+	}
+	if hdr.MaxLevel < 0 || hdr.MaxLevel > maxLoadMaxLevel {
+		return fmt.Errorf("max level %d outside [0,%d]", hdr.MaxLevel, maxLoadMaxLevel)
+	}
+	if hdr.NGhost < 0 || hdr.NGhost > maxLoadNGhost {
+		return fmt.Errorf("ghost width %d outside [0,%d]", hdr.NGhost, maxLoadNGhost)
+	}
+	if hdr.NumGrids < 0 || hdr.NumGrids > maxLoadGrids {
+		return fmt.Errorf("grid count %d outside [0,%d]", hdr.NumGrids, maxLoadGrids)
+	}
+	if len(hdr.Fields) > maxLoadFields {
+		return fmt.Errorf("%d fields exceed the cap of %d", len(hdr.Fields), maxLoadFields)
+	}
+	seen := make(map[string]bool, len(hdr.Fields))
+	for _, f := range hdr.Fields {
+		if f == "" {
+			return fmt.Errorf("empty field name")
+		}
+		if seen[f] {
+			return fmt.Errorf("duplicate field name %q", f)
+		}
+		seen[f] = true
+	}
+	// The finest-level domain extent must not overflow box arithmetic.
+	scale := math.Pow(float64(hdr.RefFactor), float64(hdr.MaxLevel))
+	for d := 0; d < 3; d++ {
+		lo, hi := hdr.Domain.Lo[d], hdr.Domain.Hi[d]
+		if lo < 0 || hi < lo {
+			return fmt.Errorf("malformed domain %v", hdr.Domain)
+		}
+		if float64(hi+1)*scale > maxLoadExtent {
+			return fmt.Errorf("domain %v at refinement %d^%d exceeds representable extent",
+				hdr.Domain, hdr.RefFactor, hdr.MaxLevel)
+		}
+	}
+	return nil
+}
+
+// validateGrid rejects a serialized grid that would violate the
+// hierarchy's invariants (AddGrid panics on them; a corrupt stream
+// must fail with an error instead).
+func (h *Hierarchy) validateGrid(cg *checkpointGrid, hdr *checkpointHeader, seen map[GridID]bool) error {
+	if cg.ID < 0 || seen[cg.ID] {
+		return fmt.Errorf("invalid or duplicate grid ID %d", cg.ID)
+	}
+	if cg.Level < 0 || cg.Level > hdr.MaxLevel {
+		return fmt.Errorf("level %d outside [0,%d]", cg.Level, hdr.MaxLevel)
+	}
+	if cg.Box.Empty() {
+		return fmt.Errorf("empty box %v", cg.Box)
+	}
+	if !h.DomainAt(cg.Level).ContainsBox(cg.Box) {
+		return fmt.Errorf("box %v escapes the level-%d domain %v", cg.Box, cg.Level, h.DomainAt(cg.Level))
+	}
+	if cg.Owner < 0 {
+		return fmt.Errorf("negative owner %d", cg.Owner)
+	}
+	if cg.Level == 0 {
+		if cg.Parent != NoGrid {
+			return fmt.Errorf("level-0 grid claims parent %d", cg.Parent)
+		}
+	} else {
+		p := h.byID[cg.Parent]
+		if p == nil {
+			return fmt.Errorf("parent %d not yet defined (grids must be saved level by level)", cg.Parent)
+		}
+		if p.Level != cg.Level-1 {
+			return fmt.Errorf("parent %d is at level %d, not %d", cg.Parent, p.Level, cg.Level-1)
+		}
+	}
+	if cg.Data != nil {
+		if !hdr.WithData {
+			return fmt.Errorf("field data present in a plan-only checkpoint")
+		}
+		if len(cg.Data) != len(hdr.Fields) {
+			return fmt.Errorf("%d data fields, header declares %d", len(cg.Data), len(hdr.Fields))
+		}
+		want := cg.Box.Grow(hdr.NGhost).NumCells()
+		for fi, d := range cg.Data {
+			if int64(len(d)) != want {
+				return fmt.Errorf("field %q has %d values, box %v with %d ghosts needs %d",
+					hdr.Fields[fi], len(d), cg.Box, hdr.NGhost, want)
+			}
+		}
+	}
+	return nil
+}
+
 // Load reconstructs a hierarchy from a stream written by Save. Grid
 // IDs, owners, parent links and field data are preserved exactly.
+// Corrupt streams — truncated data, absurd headers, out-of-domain
+// boxes, dangling parents, duplicate IDs, mis-shaped field data — are
+// rejected with a descriptive error; Load never panics on bad input.
 func Load(r io.Reader) (*Hierarchy, error) {
 	dec := gob.NewDecoder(r)
 	var hdr checkpointHeader
 	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("amr.Load: header: %w", err)
 	}
+	if err := hdr.validate(); err != nil {
+		return nil, fmt.Errorf("amr.Load: corrupt header: %w", err)
+	}
 	h := New(hdr.Domain, hdr.RefFactor, hdr.MaxLevel, hdr.NGhost, hdr.WithData, hdr.Fields...)
+	seen := make(map[GridID]bool, hdr.NumGrids)
 	for i := 0; i < hdr.NumGrids; i++ {
 		var cg checkpointGrid
 		if err := dec.Decode(&cg); err != nil {
 			return nil, fmt.Errorf("amr.Load: grid %d: %w", i, err)
 		}
+		if err := h.validateGrid(&cg, &hdr, seen); err != nil {
+			return nil, fmt.Errorf("amr.Load: corrupt grid %d: %w", i, err)
+		}
+		seen[cg.ID] = true
 		// Grids were saved level by level, so parents precede children
 		// and AddGrid's parent check holds. Restore exact IDs.
 		g := h.AddGrid(cg.Level, cg.Box, cg.Owner, cg.Parent)

@@ -1,0 +1,188 @@
+package amr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"samrdlb/internal/geom"
+)
+
+// encodeStream builds a checkpoint stream from raw header/grid records
+// so tests can craft corrupt inputs through the real encoding path.
+func encodeStream(t *testing.T, hdr checkpointHeader, grids ...checkpointGrid) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(hdr); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range grids {
+		if err := enc.Encode(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func goodHeader(numGrids int) checkpointHeader {
+	return checkpointHeader{
+		Domain: geom.UnitCube(8), RefFactor: 2, MaxLevel: 1, NGhost: 1,
+		Fields: []string{"q"}, WithData: false, NumGrids: numGrids,
+	}
+}
+
+func TestLoadRejectsCorruptHeaders(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*checkpointHeader)
+		want   string
+	}{
+		{"ref-too-small", func(h *checkpointHeader) { h.RefFactor = 1 }, "refinement factor"},
+		{"ref-too-big", func(h *checkpointHeader) { h.RefFactor = 99 }, "refinement factor"},
+		{"negative-max-level", func(h *checkpointHeader) { h.MaxLevel = -1 }, "max level"},
+		{"huge-max-level", func(h *checkpointHeader) { h.MaxLevel = 99 }, "max level"},
+		{"huge-nghost", func(h *checkpointHeader) { h.NGhost = 99 }, "ghost width"},
+		{"negative-grids", func(h *checkpointHeader) { h.NumGrids = -1 }, "grid count"},
+		{"absurd-grids", func(h *checkpointHeader) { h.NumGrids = 1 << 30 }, "grid count"},
+		{"empty-domain", func(h *checkpointHeader) {
+			h.Domain = geom.Box{Lo: geom.Index{2, 2, 2}, Hi: geom.Index{1, 1, 1}}
+		}, "domain"},
+		{"empty-field", func(h *checkpointHeader) { h.Fields = []string{""} }, "field name"},
+		{"dup-field", func(h *checkpointHeader) { h.Fields = []string{"q", "q"} }, "duplicate field"},
+		{"overflow-domain", func(h *checkpointHeader) {
+			h.Domain = geom.Box{Lo: geom.Index{0, 0, 0}, Hi: geom.Index{1 << 29, 7, 7}}
+			h.MaxLevel = 32
+			h.RefFactor = 16
+		}, "extent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hdr := goodHeader(0)
+			tc.mutate(&hdr)
+			_, err := Load(bytes.NewReader(encodeStream(t, hdr)))
+			if err == nil {
+				t.Fatal("corrupt header must not load")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsCorruptGrids(t *testing.T) {
+	root := checkpointGrid{ID: 0, Level: 0, Box: geom.UnitCube(8), Owner: 0, Parent: NoGrid}
+	cases := []struct {
+		name  string
+		grids []checkpointGrid
+		want  string
+	}{
+		{"level-out-of-range", []checkpointGrid{{ID: 0, Level: 5, Box: geom.UnitCube(8), Parent: 0}}, "level"},
+		{"empty-box", []checkpointGrid{{ID: 0, Level: 0,
+			Box: geom.Box{Lo: geom.Index{2, 2, 2}, Hi: geom.Index{1, 1, 1}}, Parent: NoGrid}}, "box"},
+		{"escaping-box", []checkpointGrid{{ID: 0, Level: 0,
+			Box: geom.BoxFromShape(geom.Index{4, 0, 0}, geom.Index{8, 8, 8}), Parent: NoGrid}}, "escapes"},
+		{"negative-owner", []checkpointGrid{{ID: 0, Level: 0, Box: geom.UnitCube(8), Owner: -3, Parent: NoGrid}}, "owner"},
+		{"level0-with-parent", []checkpointGrid{{ID: 0, Level: 0, Box: geom.UnitCube(8), Parent: 7}}, "parent"},
+		{"dangling-parent", []checkpointGrid{root,
+			{ID: 1, Level: 1, Box: geom.BoxFromShape(geom.Index{0, 0, 0}, geom.Index{4, 4, 4}), Parent: 99}}, "parent"},
+		{"duplicate-id", []checkpointGrid{root,
+			{ID: 0, Level: 0, Box: geom.UnitCube(8), Parent: NoGrid}}, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hdr := goodHeader(len(tc.grids))
+			_, err := Load(bytes.NewReader(encodeStream(t, hdr, tc.grids...)))
+			if err == nil {
+				t.Fatal("corrupt grid must not load")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsMisshapenData(t *testing.T) {
+	hdr := goodHeader(1)
+	hdr.WithData = true
+	grid := checkpointGrid{ID: 0, Level: 0, Box: geom.UnitCube(8), Parent: NoGrid,
+		Data: [][]float64{make([]float64, 10)}} // needs 10^3 with ghosts
+	if _, err := Load(bytes.NewReader(encodeStream(t, hdr, grid))); err == nil ||
+		!strings.Contains(err.Error(), "values") {
+		t.Errorf("mis-shaped field data must fail descriptively, got %v", err)
+	}
+
+	hdr2 := goodHeader(1)
+	hdr2.WithData = true
+	grid2 := checkpointGrid{ID: 0, Level: 0, Box: geom.UnitCube(8), Parent: NoGrid,
+		Data: [][]float64{make([]float64, 1000), make([]float64, 1000)}}
+	if _, err := Load(bytes.NewReader(encodeStream(t, hdr2, grid2))); err == nil ||
+		!strings.Contains(err.Error(), "fields") {
+		t.Errorf("field-count mismatch must fail descriptively, got %v", err)
+	}
+
+	hdr3 := goodHeader(1) // plan-only
+	grid3 := checkpointGrid{ID: 0, Level: 0, Box: geom.UnitCube(8), Parent: NoGrid,
+		Data: [][]float64{make([]float64, 1000)}}
+	if _, err := Load(bytes.NewReader(encodeStream(t, hdr3, grid3))); err == nil ||
+		!strings.Contains(err.Error(), "plan-only") {
+		t.Errorf("data in a plan-only checkpoint must fail descriptively, got %v", err)
+	}
+}
+
+func TestLoadTruncatedStream(t *testing.T) {
+	h := buildDataHierarchy(t, 4)
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{1, len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation at %d/%d bytes must fail", n, len(full))
+		}
+	}
+}
+
+// FuzzLoad feeds arbitrary streams to Load: it must reject corrupt
+// input with an error — never panic — and anything it accepts must
+// save and re-load cleanly.
+func FuzzLoad(f *testing.F) {
+	h := New(geom.UnitCube(8), 2, 1, 1, true, "q")
+	root := h.AddGrid(0, geom.UnitCube(8), 0, NoGrid)
+	root.Patch.FillFunc("q", func(i geom.Index) float64 { return float64(i[0] + i[1]) })
+	h.AddGrid(1, geom.BoxFromShape(geom.Index{4, 4, 4}, geom.Index{6, 6, 6}), 1, root.ID)
+	var withData bytes.Buffer
+	if err := h.Save(&withData); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(withData.Bytes())
+
+	p := New(geom.UnitCube(8), 2, 1, 1, false, "q")
+	g := p.AddGrid(0, geom.UnitCube(8), 0, NoGrid)
+	p.AddGrid(1, geom.BoxFromShape(geom.Index{2, 2, 2}, geom.Index{4, 4, 4}), 1, g.ID)
+	var planOnly bytes.Buffer
+	if err := p.Save(&planOnly); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(planOnly.Bytes())
+	f.Add([]byte("not a checkpoint"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := h.Save(&buf); err != nil {
+			t.Fatalf("accepted checkpoint fails to re-save: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("accepted checkpoint fails to re-load: %v", err)
+		}
+	})
+}

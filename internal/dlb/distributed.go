@@ -34,27 +34,31 @@ type DistributedDLB struct{}
 func (DistributedDLB) Name() string { return "distributed-dlb" }
 
 // PlaceChild implements Balancer: children go to the least-loaded
-// processor of the parent's group, keeping parent–child communication
-// local.
+// surviving processor of the parent's group, keeping parent–child
+// communication local.
 func (DistributedDLB) PlaceChild(ctx *Context, childBox geom.Box, parent *amr.Grid) int {
 	group := ctx.Sys.GroupOf(parent.Owner)
-	procs := sortedCopy(ctx.Sys.ProcsInGroup(group))
-	return leastLoadedProc(ctx, procs, parent.Level+1)
+	return leastLoadedProc(ctx, groupProcs(ctx, group), parent.Level+1)
 }
 
-// LocalBalance implements Balancer: per-group even redistribution.
-// "An overloaded processor can migrate its workload to an underloaded
-// processor of the same group only."
+// LocalBalance implements Balancer: per-group even redistribution
+// over the group's surviving processors. "An overloaded processor can
+// migrate its workload to an underloaded processor of the same group
+// only."
 func (DistributedDLB) LocalBalance(ctx *Context, level int) []Migration {
 	var out []Migration
 	for g := 0; g < ctx.Sys.NumGroups(); g++ {
-		out = append(out, balanceOver(ctx, level, sortedCopy(ctx.Sys.ProcsInGroup(g)))...)
+		out = append(out, balanceOver(ctx, level, groupProcs(ctx, g))...)
 	}
 	return out
 }
 
 // GlobalBalance implements Balancer (the flowchart of Fig. 4, left
-// column).
+// column), extended with the fault-driven degraded modes: quarantined
+// groups are skipped as donor and receiver, probes retry with
+// exponential backoff and fall back to the NWS forecast, and when
+// fewer than two groups are reachable the step degrades to local-only
+// balancing until the outage lifts.
 func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 	var d GlobalDecision
 	sys := ctx.Sys
@@ -68,19 +72,39 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 		return d
 	}
 
-	// "imbalance exist?"
-	if ctx.Load.ImbalanceRatio(sys) <= 1+ctx.imbalanceEps() {
+	// Partition the groups into reachable and quarantined.
+	var healthy []int
+	for g := 0; g < sys.NumGroups(); g++ {
+		if ctx.Quarantined != nil && ctx.Quarantined(g, ctx.now()) {
+			d.Quarantined = append(d.Quarantined, g)
+			continue
+		}
+		healthy = append(healthy, g)
+	}
+	if len(healthy) < 2 {
+		// Fewer than two reachable groups: no global phase is
+		// possible. Degrade to local-only level-0 balancing — every
+		// group (quarantined ones included: they are cut off, not
+		// dead) evens out its own processors and waits for the
+		// outage window to close.
+		d.Degraded = true
+		for g := 0; g < sys.NumGroups(); g++ {
+			d.Migrations = append(d.Migrations, balanceOver(ctx, 0, groupProcs(ctx, g))...)
+		}
+		for _, m := range d.Migrations {
+			d.MovedBytes += m.Bytes
+		}
+		d.Invoked = len(d.Migrations) > 0
 		return d
 	}
-	d.Evaluated = true
 
-	// Identify the overloaded (donor) and underloaded (receiver)
-	// groups by perf-normalised workload.
+	// "imbalance exist?" — judged over the reachable groups only; a
+	// catch-up evaluation right after a quarantine forces the check.
 	works := ctx.Load.GroupWorks(sys)
-	donor, recv := 0, 0
+	donor, recv := -1, -1
 	maxN, minN := math.Inf(-1), math.Inf(1)
-	for g, w := range works {
-		n := w / sys.GroupPerf(g)
+	for _, g := range healthy {
+		n := works[g] / sys.GroupPerf(g)
 		if n > maxN {
 			maxN, donor = n, g
 		}
@@ -88,6 +112,22 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 			minN, recv = n, g
 		}
 	}
+	if !ctx.ForceEval {
+		ratio := math.Inf(1) // minN == 0 with work elsewhere: unbounded imbalance
+		switch {
+		case maxN <= 0:
+			ratio = 1 // nothing reachable holds work: perfectly (vacuously) balanced
+		case minN > 0:
+			ratio = maxN / minN
+		}
+		if ratio <= 1+ctx.imbalanceEps() {
+			return d
+		}
+	}
+	d.Evaluated = true
+
+	// Degenerate loads: no reachable work, or one group holding
+	// everything with nowhere distinct to send it.
 	if donor == recv || maxN <= 0 {
 		return d
 	}
@@ -114,15 +154,40 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 	}
 
 	// Probe the link between the two groups: two messages yield α̂, β̂
-	// under the network's *current* background traffic.
-	link := sys.Net.Between(donor, recv)
-	alphaHat, betaHat, probeT := link.Probe(ctx.now())
+	// under the network's *current* background traffic. Probes can
+	// time out under fault injection; the bounded retry loop backs
+	// off exponentially and its wasted wall time is charged to the δ
+	// overhead term by the engine.
+	link, lerr := sys.Net.Between(donor, recv)
+	if lerr != nil {
+		// No route between the two groups at all: treat the pair as
+		// unreachable for this step.
+		d.ProbeFailed = true
+		return d
+	}
+	alphaHat, betaHat, probeT, retryT, attempts, perr := link.ProbeWithRetry(ctx.now(), ctx.Retry)
 	d.ProbeTime = probeT
-
-	// With NWS-style forecasting enabled, the probe feeds the
-	// measurement history and the smoothed prediction replaces the
-	// instantaneous values in the cost model.
-	if ctx.Forecast != nil {
+	d.RetryTime = retryT
+	d.ProbeAttempts = attempts
+	if perr != nil {
+		d.ProbeFailed = true
+		// Every attempt failed: fall back to the last NWS forecast of
+		// this link. With no history either, there is no cost
+		// estimate to trust — skip redistribution until the network
+		// answers again.
+		if ctx.Forecast != nil {
+			if a, b, ok := ctx.Forecast.For(link).Forecast(); ok {
+				alphaHat, betaHat = a, b
+				d.UsedForecast = true
+			}
+		}
+		if !d.UsedForecast {
+			return d
+		}
+	} else if ctx.Forecast != nil {
+		// With NWS-style forecasting enabled, the probe feeds the
+		// measurement history and the smoothed prediction replaces
+		// the instantaneous values in the cost model.
 		lf := ctx.Forecast.For(link)
 		lf.Record(alphaHat, betaHat)
 		if a, b, ok := lf.Forecast(); ok {
@@ -205,7 +270,7 @@ func moveLevel0(ctx *Context, donor, recv int, moveWork float64) []Migration {
 		return donorGrids[i].ID < donorGrids[j].ID
 	})
 
-	recvProcs := sortedCopy(ctx.Sys.ProcsInGroup(recv))
+	recvProcs := groupProcs(ctx, recv)
 	numFields := len(ctx.H.Fields)
 	var out []Migration
 	remaining := moveWork

@@ -49,8 +49,20 @@ type Context struct {
 	// before they enter the cost model — the integration the paper
 	// lists as future work ("connect this proposed DLB scheme with
 	// tools such as the NWS service"). Raw probes are still taken and
-	// recorded; the forecast replaces them in Eq. 1.
+	// recorded; the forecast replaces them in Eq. 1. It is also the
+	// fallback the global phase uses when every probe attempt fails.
 	Forecast *netsim.ForecastSet
+	// Quarantined, when non-nil, reports that a group is unreachable
+	// at time t; the global phase must then skip it as donor and
+	// receiver (fault-driven degraded mode).
+	Quarantined func(group int, t float64) bool
+	// Retry bounds the probe retry/backoff loop (zero value = netsim
+	// defaults).
+	Retry netsim.RetryPolicy
+	// ForceEval makes the next global evaluation run even below the
+	// imbalance trigger — the catch-up redistribution considered when
+	// a quarantine window closes. The engine sets and clears it.
+	ForceEval bool
 }
 
 // DefaultGamma is the paper's default γ.
@@ -103,6 +115,23 @@ type GlobalDecision struct {
 	Migrations []Migration
 	// MovedBytes is the total migrated volume.
 	MovedBytes int64
+
+	// Fault-tolerance outcome of the global phase.
+	//
+	// ProbeAttempts is the number of probe attempts made (0 when no
+	// probe ran); RetryTime the wall time lost to failed attempts and
+	// backoff (the engine charges it into δ). ProbeFailed is true when
+	// every attempt failed; UsedForecast when the cost model then ran
+	// on the NWS forecast instead of a live measurement. Quarantined
+	// lists the groups excluded as donor/receiver; Degraded is true
+	// when fewer than two groups were reachable and the step fell back
+	// to local-only balancing.
+	ProbeAttempts int
+	RetryTime     float64
+	ProbeFailed   bool
+	UsedForecast  bool
+	Quarantined   []int
+	Degraded      bool
 }
 
 // Balancer is a dynamic load-balancing scheme driven by the SAMR

@@ -387,7 +387,10 @@ func TestForecastSmoothsSpikyProbes(t *testing.T) {
 
 	fc := mkCtx()
 	fc.Forecast = netsim.NewForecastSet()
-	link := fc.Sys.Net.Between(0, 1)
+	link, err := fc.Sys.Net.Between(0, 1)
+	if err != nil {
+		t.Fatalf("Between: %v", err)
+	}
 	// Train the forecaster with quiet-period probes.
 	for ts := 0.0; ts < 90; ts += 10 {
 		a, b, _ := link.Probe(ts)

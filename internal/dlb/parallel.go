@@ -47,10 +47,25 @@ func (ParallelDLB) GlobalBalance(ctx *Context) GlobalDecision {
 	}
 }
 
+// allProcs returns every non-failed processor; only when every single
+// processor has failed does it fall back to the full set (there is no
+// better choice left, and the run is over anyway).
 func allProcs(ctx *Context) []int {
+	if alive := ctx.Sys.AliveProcs(); len(alive) > 0 {
+		return alive
+	}
 	procs := make([]int, ctx.Sys.NumProcs())
 	for i := range procs {
 		procs[i] = i
 	}
 	return procs
+}
+
+// groupProcs returns group g's non-failed processors ascending,
+// falling back to the whole group when every member has failed.
+func groupProcs(ctx *Context, g int) []int {
+	if alive := ctx.Sys.AliveInGroup(g); len(alive) > 0 {
+		return alive
+	}
+	return sortedCopy(ctx.Sys.ProcsInGroup(g))
 }

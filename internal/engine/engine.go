@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"samrdlb/internal/amr"
 	"samrdlb/internal/cluster"
 	"samrdlb/internal/dlb"
+	"samrdlb/internal/fault"
 	"samrdlb/internal/geom"
 	"samrdlb/internal/load"
 	"samrdlb/internal/machine"
@@ -91,6 +93,21 @@ type Options struct {
 	// simulated time the checkpoint was taken at.
 	Resume     *amr.Hierarchy
 	ResumeTime float64
+	// Faults, when non-nil, injects the scripted fault schedule into
+	// the run: link outages and degradations attach to the fabric,
+	// probe losses trigger the retry/backoff/forecast path, processor
+	// slowdowns and failures flow into the health vector, and whole
+	// groups can be quarantined. The run then checkpoints the
+	// hierarchy every CheckpointInterval level-0 steps and recovers
+	// from the last checkpoint when a processor fails.
+	Faults *fault.Schedule
+	// CheckpointInterval is the number of level-0 steps between
+	// periodic recovery checkpoints (default 4; only used when Faults
+	// is set).
+	CheckpointInterval int
+	// Retry bounds the probe retry/backoff loop of the global phase
+	// (zero value = netsim defaults).
+	Retry netsim.RetryPolicy
 }
 
 func (o *Options) setDefaults() {
@@ -118,6 +135,9 @@ func (o *Options) setDefaults() {
 	if o.GridsPerProc <= 0 {
 		o.GridsPerProc = 4
 	}
+	if o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 4
+	}
 }
 
 // regridFlopsPerCell is the modelled computational cost of
@@ -128,6 +148,10 @@ const regridFlopsPerCell = 4.0
 // evalFlops is the modelled cost of one gain/cost evaluation
 // (negligible by design: "the evaluation should be very fast").
 const evalFlops = 5e4
+
+// checkpointFlopsPerCell is the modelled cost of writing or restoring
+// one cell of recovery checkpoint state.
+const checkpointFlopsPerCell = 2.0
 
 // Runner executes one SAMR application on one system with one DLB
 // scheme.
@@ -155,6 +179,23 @@ type Runner struct {
 	globalRedists int
 	localMigs     int
 	maxCells      int64
+
+	// Fault-tolerance state (active only when opt.Faults is set).
+	ckpt          []byte  // last checkpoint (gob stream)
+	ckptStep      int     // level-0 step it covers (-1 = pristine)
+	ckptT         float64 // simulated time at the checkpoint
+	ckptClock     float64 // virtual wall time at the checkpoint
+	lastFailCheck float64 // end of the last failure-scan window
+	failedSet     map[int]bool
+	wasQuar       bool // a group was quarantined at the last boundary
+
+	probeRetries   int
+	probeFallbacks int
+	retryTime      float64
+	quarSteps      int
+	catchupEvals   int
+	recoveries     int
+	recoveryTime   float64
 }
 
 // New prepares a runner. The hierarchy is initialised with a level-0
@@ -194,6 +235,25 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 	}
 	if opt.UseForecast {
 		r.ctx.Forecast = netsim.NewForecastSet()
+	}
+	if opt.Faults != nil {
+		if err := opt.Faults.Validate(sys.NumProcs(), sys.NumGroups()); err != nil {
+			panic("engine: " + err.Error())
+		}
+		// Attach the schedule to every fabric link (outages, degradation
+		// and probe loss), expose quarantine and the retry policy to the
+		// balancer, and make sure a forecast history exists: it is the
+		// fallback the global phase uses when every probe attempt fails.
+		sys.Net.EachLink(func(a, b int, l *netsim.Link) {
+			l.Fault = opt.Faults.ForLink(a, b)
+		})
+		r.ctx.Quarantined = r.groupQuarantined
+		r.ctx.Retry = opt.Retry
+		if r.ctx.Forecast == nil {
+			r.ctx.Forecast = netsim.NewForecastSet()
+		}
+		r.failedSet = make(map[int]bool)
+		r.ckptStep = -1
 	}
 	if opt.UseMPX {
 		if !opt.WithData {
@@ -270,20 +330,183 @@ func (r *Runner) dt(level int) float64 {
 }
 
 // Run executes the configured number of level-0 steps and returns the
-// measured result.
+// measured result. Under fault injection the loop additionally applies
+// processor slowdowns before each step, scans for failures after it
+// (rewinding to the last checkpoint and replaying when one struck),
+// takes periodic recovery checkpoints, and tracks group quarantine
+// across level-0 boundaries.
 func (r *Runner) Run() *metrics.Result {
+	if r.opt.Faults != nil {
+		r.lastFailCheck = -1
+		r.takeCheckpoint(-1)
+	}
 	for s := 0; s < r.opt.Steps; s++ {
+		if r.opt.Faults != nil {
+			r.applySlowdowns()
+		}
 		if s%r.opt.RegridInterval == 0 {
 			r.regrid(s == 0)
 		}
 		r.step(0)
 		r.t += r.dt0
+		if r.opt.Faults != nil {
+			if r.detectFailures() {
+				s = r.recoverFromCheckpoint()
+				continue
+			}
+			if (s+1)%r.opt.CheckpointInterval == 0 {
+				r.takeCheckpoint(s)
+			}
+		}
 		r.globalBalance()
 		if r.opt.AfterStep != nil {
 			r.opt.AfterStep(s, r)
 		}
 	}
 	return r.result()
+}
+
+// groupQuarantined reports whether group g is unreachable at virtual
+// time t: either a scripted whole-group disconnect covers it, or every
+// inter-group link from g is inside an outage window.
+func (r *Runner) groupQuarantined(g int, t float64) bool {
+	f := r.opt.Faults
+	if f == nil {
+		return false
+	}
+	if f.GroupDown(g, t) {
+		return true
+	}
+	ng := r.sys.NumGroups()
+	if ng < 2 {
+		return false
+	}
+	for h := 0; h < ng; h++ {
+		if h != g && !f.LinkDown(g, h, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// applySlowdowns refreshes the health vector from the fault schedule
+// at the current virtual time: slowdown windows scale effective
+// performance; failed processors drop to zero.
+func (r *Runner) applySlowdowns() {
+	now := r.clock.Now()
+	for p := 0; p < r.sys.NumProcs(); p++ {
+		f := r.opt.Faults.ProcFactor(p, now)
+		if f > 1 {
+			f = 1
+		}
+		r.sys.SetHealth(p, f)
+	}
+}
+
+// detectFailures scans the fault schedule for processor failures since
+// the last scan and marks them dead. Returns true when a new failure
+// struck (the caller must then recover from the last checkpoint).
+func (r *Runner) detectFailures() bool {
+	now := r.clock.Now()
+	procs := r.opt.Faults.FailuresIn(r.lastFailCheck, now)
+	r.lastFailCheck = now
+	hit := false
+	for _, p := range procs {
+		if r.failedSet[p] {
+			continue
+		}
+		r.failedSet[p] = true
+		r.sys.SetHealth(p, 0)
+		hit = true
+		r.opt.Trace.Add(trace.Fault, 0, now, fmt.Sprintf("processor %d failed", p))
+	}
+	return hit
+}
+
+// takeCheckpoint serialises the hierarchy for recovery, charging the
+// write cost to the Recovery phase. step is the last completed level-0
+// step the checkpoint covers (-1 for the pristine pre-run state).
+func (r *Runner) takeCheckpoint(step int) {
+	var buf bytes.Buffer
+	if err := r.h.Save(&buf); err != nil {
+		panic(fmt.Sprintf("engine: checkpoint failed: %v", err))
+	}
+	r.ckpt = buf.Bytes()
+	r.ckptStep = step
+	r.ckptT = r.t
+	cells := totalCells(r.h)
+	r.clock.AddUniform(vclock.Recovery, float64(cells)*checkpointFlopsPerCell/r.sys.FlopsPerSecond)
+	r.ckptClock = r.clock.Now()
+	r.opt.Trace.Add(trace.Recovery, 0, r.ckptClock,
+		fmt.Sprintf("checkpoint step=%d cells=%d", step, cells))
+}
+
+// recoverFromCheckpoint restores the hierarchy from the last periodic
+// checkpoint after a processor failure, re-runs the initial partition
+// over the surviving processors, and charges the restore to the
+// Recovery phase. The wall time elapsed since the checkpoint — work
+// that is now lost and must be replayed — is recorded as recovery
+// time. Returns the checkpoint's step so the caller's loop replays
+// from the step after it.
+func (r *Runner) recoverFromCheckpoint() int {
+	lost := r.clock.Now() - r.ckptClock
+	h, err := amr.Load(bytes.NewReader(r.ckpt))
+	if err != nil {
+		panic(fmt.Sprintf("engine: checkpoint restore failed: %v", err))
+	}
+	r.h = h
+	r.ctx.H = h
+	r.t = r.ckptT
+	r.repartition()
+	restore := float64(totalCells(h)) * checkpointFlopsPerCell / r.sys.FlopsPerSecond
+	r.clock.AddUniform(vclock.Recovery, restore)
+	r.recoveries++
+	r.recoveryTime += lost + restore
+	// The aborted interval's accumulators describe work that no longer
+	// exists; start the next measurement interval clean.
+	r.rec.ResetInterval()
+	r.intervalStart = r.clock.Now()
+	r.opt.Trace.Add(trace.Recovery, 0, r.clock.Now(),
+		fmt.Sprintf("restored checkpoint step=%d lost=%.4fs survivors=%d",
+			r.ckptStep, lost, r.sys.NumAlive()))
+	return r.ckptStep
+}
+
+// repartition re-runs the initial level-0 partition over the surviving
+// processors (spatial order, shares proportional to effective
+// performance); finer grids follow their parent's owner, preserving
+// the distributed scheme's same-group placement.
+func (r *Runner) repartition() {
+	alive := r.sys.AliveProcs()
+	if len(alive) == 0 {
+		return // every processor failed; nothing sensible remains
+	}
+	r.h.SortLevel(0)
+	grids := r.h.Grids(0)
+	var perfSum, total float64
+	for _, p := range alive {
+		perfSum += r.sys.EffectivePerf(p)
+	}
+	for _, g := range grids {
+		total += float64(g.NumCells())
+	}
+	idx := 0
+	assigned, cum := 0.0, r.sys.EffectivePerf(alive[0])
+	for _, g := range grids {
+		for idx < len(alive)-1 && assigned >= total*cum/perfSum {
+			idx++
+			cum += r.sys.EffectivePerf(alive[idx])
+		}
+		g.Owner = alive[idx]
+		assigned += float64(g.NumCells())
+	}
+	for l := 1; l <= r.h.MaxLevel; l++ {
+		for _, g := range r.h.Grids(l) {
+			if p := r.h.Grid(g.Parent); p != nil {
+				g.Owner = p.Owner
+			}
+		}
+	}
 }
 
 // step advances one level by one of its time steps, then recursively
@@ -394,7 +617,15 @@ func (r *Runner) advanceLevel(level int) {
 		r.particleWork(work)
 	}
 	for p := range perProc {
-		perProc[p] = work[p] / (r.sys.Perf(p) * r.sys.FlopsPerSecond)
+		if work[p] > 0 {
+			eff := r.sys.EffectivePerf(p)
+			if eff <= 0 {
+				// A processor that failed mid-step still finishes it at
+				// nominal speed; recovery follows at the step boundary.
+				eff = r.sys.Perf(p)
+			}
+			perProc[p] = work[p] / (eff * r.sys.FlopsPerSecond)
+		}
 		r.rec.RecordLevelWork(p, level, work[p])
 	}
 	r.clock.AddPhase(vclock.Compute, perProc)
@@ -473,7 +704,11 @@ func (r *Runner) chargeMessages(msgs []amr.Message, localPhase, remotePhase vclo
 	now := r.clock.Now()
 	anyLocal, anyRemote := false, false
 	for _, pr := range pairs {
-		link := r.sys.LinkBetween(pr.src, pr.dst)
+		link, err := r.sys.LinkBetween(pr.src, pr.dst)
+		if err != nil {
+			// No fabric link between the pair: nothing to charge.
+			continue
+		}
 		tt := link.TransferTime(now, float64(bytesBy[pr]))
 		if r.sys.SameGroup(pr.src, pr.dst) {
 			local[pr.src] += tt
@@ -504,7 +739,11 @@ func (r *Runner) chargeMigrations(migs []dlb.Migration, localPhase, remotePhase 
 	now := r.clock.Now()
 	anyLocal, anyRemote := false, false
 	for _, m := range migs {
-		link := r.sys.LinkBetween(m.From, m.To)
+		link, err := r.sys.LinkBetween(m.From, m.To)
+		if err != nil {
+			// No fabric link between the pair: nothing to charge.
+			continue
+		}
 		tt := link.TransferTime(now, float64(m.Bytes))
 		if r.sys.SameGroup(m.From, m.To) {
 			local[m.From] += tt
@@ -547,12 +786,45 @@ func (r *Runner) globalBalance() {
 		r.opt.History.Record("imbalance-ratio", r.rec.ImbalanceRatio(r.sys))
 		r.opt.History.Record("remote-comm", r.clock.PhaseTotal(vclock.RemoteComm))
 	}
+	if r.opt.Faults != nil {
+		r.noteQuarantine()
+	}
+	forced := r.ctx.ForceEval
 	d := r.opt.Balancer.GlobalBalance(r.ctx)
+	r.ctx.ForceEval = false
+	overhead := d.ProbeTime
 	if d.Evaluated {
 		r.globalEvals++
-		r.clock.AddUniform(vclock.DLBOverhead, d.ProbeTime+evalFlops/r.sys.FlopsPerSecond)
+		overhead += evalFlops / r.sys.FlopsPerSecond
+		if forced {
+			r.catchupEvals++
+		}
+	}
+	if overhead > 0 {
+		r.clock.AddUniform(vclock.DLBOverhead, overhead)
+	}
+	if d.Evaluated {
 		r.opt.Trace.Add(trace.GlobalCheck, 0, r.clock.Now(),
-			fmt.Sprintf("gain=%.4g cost=%.4g invoked=%v", d.Gain, d.Cost, d.Invoked))
+			fmt.Sprintf("gain=%.4g cost=%.4g invoked=%v forced=%v", d.Gain, d.Cost, d.Invoked, forced))
+	}
+	if d.RetryTime > 0 {
+		// Wasted probe attempts and backoff inflate the δ overhead term
+		// of Eq. 1: the next cost estimate sees an unreliable network.
+		failedAttempts := d.ProbeAttempts - 1
+		if d.ProbeFailed {
+			failedAttempts = d.ProbeAttempts
+		}
+		r.probeRetries += failedAttempts
+		r.retryTime += d.RetryTime
+		r.rec.AddDelta(d.RetryTime)
+		r.opt.Trace.Add(trace.ProbeRetry, 0, r.clock.Now(),
+			fmt.Sprintf("attempts=%d retry-time=%.4fs failed=%v", d.ProbeAttempts, d.RetryTime, d.ProbeFailed))
+	}
+	if d.UsedForecast {
+		r.probeFallbacks++
+		r.opt.Trace.Add(trace.Fault, 0, r.clock.Now(), "probe failed; cost model fell back to forecast")
+	} else if d.ProbeFailed {
+		r.opt.Trace.Add(trace.Fault, 0, r.clock.Now(), "probe failed; no forecast history; redistribution skipped")
 	}
 	if d.Invoked {
 		if d.Evaluated {
@@ -623,9 +895,32 @@ func totalCells(h *amr.Hierarchy) int64 {
 	return n
 }
 
+// noteQuarantine tracks group reachability across level-0 boundaries:
+// it counts boundaries at which some group is quarantined and, when
+// the last quarantine lifts, arms a forced catch-up gain/cost
+// evaluation for the decision that follows.
+func (r *Runner) noteQuarantine() {
+	now := r.clock.Now()
+	var quar []int
+	for g := 0; g < r.sys.NumGroups(); g++ {
+		if r.groupQuarantined(g, now) {
+			quar = append(quar, g)
+		}
+	}
+	if len(quar) > 0 {
+		r.quarSteps++
+		r.wasQuar = true
+		r.opt.Trace.Add(trace.Quarantine, 0, now, fmt.Sprintf("groups=%v", quar))
+	} else if r.wasQuar {
+		r.wasQuar = false
+		r.ctx.ForceEval = true
+		r.opt.Trace.Add(trace.Quarantine, 0, now, "lifted; catch-up evaluation armed")
+	}
+}
+
 // result assembles the run's metrics.
 func (r *Runner) result() *metrics.Result {
-	return &metrics.Result{
+	res := &metrics.Result{
 		Scheme:          r.opt.Balancer.Name(),
 		Dataset:         r.driver.Name(),
 		SystemName:      r.sys.String(),
@@ -640,4 +935,16 @@ func (r *Runner) result() *metrics.Result {
 		LocalMigrations: r.localMigs,
 		MaxCells:        r.maxCells,
 	}
+	if r.opt.Faults != nil {
+		res.FaultEvents = r.opt.Faults.NumEvents()
+		res.ProbeRetries = r.probeRetries
+		res.ProbeFallbacks = r.probeFallbacks
+		res.RetryTime = r.retryTime
+		res.QuarantinedSteps = r.quarSteps
+		res.CatchupEvals = r.catchupEvals
+		res.Recoveries = r.recoveries
+		res.RecoveryTime = r.recoveryTime
+		res.FailedProcs = len(r.failedSet)
+	}
+	return res
 }

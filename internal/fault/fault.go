@@ -1,0 +1,396 @@
+// Package fault implements deterministic, scripted fault injection
+// for the simulated distributed system: link outage and degradation
+// windows, probe-message loss, processor slowdowns, whole-processor
+// failures, and group disconnects. The paper's premise is that
+// wide-area networks are dynamic and unreliable; this package makes
+// the simulation's networks and processors unreliable on a schedule,
+// so the DLB scheme's degraded modes (probe retry, group quarantine,
+// checkpoint recovery) can be exercised reproducibly.
+//
+// All decisions are pure functions of (seed, event script, query
+// order): two runs with the same schedule and the same execution
+// order observe byte-identical fault behaviour, which is what lets
+// tests assert determinism of the whole fault-tolerant run.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a fault event.
+type Kind int
+
+// The fault kinds.
+const (
+	// LinkOutage makes the link between groups A and B unusable for
+	// the window [Start, End): transfers are undeliverable and probes
+	// fail.
+	LinkOutage Kind = iota
+	// LinkDegrade multiplies the link's effective β by Factor (>1 =
+	// slower) during [Start, End) — a congested or flapping WAN.
+	LinkDegrade
+	// ProbeLoss drops each probe message on the link between A and B
+	// with probability Prob during [Start, End), deterministically
+	// derived from the schedule seed.
+	ProbeLoss
+	// ProcSlowdown multiplies processor Proc's speed by Factor
+	// (0 < Factor ≤ 1) during [Start, End) — background load or
+	// thermal throttling.
+	ProcSlowdown
+	// ProcFailure kills processor Proc permanently at time Start.
+	ProcFailure
+	// GroupDisconnect cuts group Group off from every other group for
+	// [Start, End): all its inter-group links behave as down.
+	GroupDisconnect
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkOutage:
+		return "link-outage"
+	case LinkDegrade:
+		return "link-degrade"
+	case ProbeLoss:
+		return "probe-loss"
+	case ProcSlowdown:
+		return "proc-slow"
+	case ProcFailure:
+		return "proc-fail"
+	case GroupDisconnect:
+		return "group-disconnect"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scripted fault. Times are virtual (vclock) seconds;
+// windows are half-open [Start, End). ProcFailure ignores End.
+type Event struct {
+	Kind Kind
+	// Start and End bound the event window.
+	Start, End float64
+	// A and B name the group pair for link events (order irrelevant).
+	A, B int
+	// Group names the target of a GroupDisconnect.
+	Group int
+	// Proc names the target of ProcSlowdown / ProcFailure.
+	Proc int
+	// Factor is the LinkDegrade β multiplier (≥1) or the ProcSlowdown
+	// speed multiplier (0 < Factor ≤ 1).
+	Factor float64
+	// Prob is the ProbeLoss per-message drop probability in [0, 1].
+	Prob float64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case LinkOutage:
+		return fmt.Sprintf("link-outage between=%d,%d start=%g end=%g", e.A, e.B, e.Start, e.End)
+	case LinkDegrade:
+		return fmt.Sprintf("link-degrade between=%d,%d start=%g end=%g factor=%g", e.A, e.B, e.Start, e.End, e.Factor)
+	case ProbeLoss:
+		return fmt.Sprintf("probe-loss between=%d,%d start=%g end=%g prob=%g", e.A, e.B, e.Start, e.End, e.Prob)
+	case ProcSlowdown:
+		return fmt.Sprintf("proc-slow proc=%d start=%g end=%g factor=%g", e.Proc, e.Start, e.End, e.Factor)
+	case ProcFailure:
+		return fmt.Sprintf("proc-fail proc=%d at=%g", e.Proc, e.Start)
+	case GroupDisconnect:
+		return fmt.Sprintf("group-disconnect group=%d start=%g end=%g", e.Group, e.Start, e.End)
+	default:
+		return fmt.Sprintf("unknown(%d)", int(e.Kind))
+	}
+}
+
+// validate rejects malformed events with a descriptive error.
+func (e Event) validate() error {
+	if e.Start < 0 {
+		return fmt.Errorf("%s: negative start %g", e.Kind, e.Start)
+	}
+	if e.Kind != ProcFailure && e.End <= e.Start {
+		return fmt.Errorf("%s: empty window [%g, %g)", e.Kind, e.Start, e.End)
+	}
+	switch e.Kind {
+	case LinkOutage, LinkDegrade, ProbeLoss:
+		if e.A < 0 || e.B < 0 {
+			return fmt.Errorf("%s: negative group in pair (%d, %d)", e.Kind, e.A, e.B)
+		}
+	case ProcSlowdown, ProcFailure:
+		if e.Proc < 0 {
+			return fmt.Errorf("%s: negative proc %d", e.Kind, e.Proc)
+		}
+	case GroupDisconnect:
+		if e.Group < 0 {
+			return fmt.Errorf("%s: negative group %d", e.Kind, e.Group)
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %d", int(e.Kind))
+	}
+	if e.Kind == LinkDegrade && e.Factor < 1 {
+		return fmt.Errorf("link-degrade: factor %g must be ≥ 1", e.Factor)
+	}
+	if e.Kind == ProcSlowdown && (e.Factor <= 0 || e.Factor > 1) {
+		return fmt.Errorf("proc-slow: factor %g must be in (0, 1]", e.Factor)
+	}
+	if e.Kind == ProbeLoss && (e.Prob < 0 || e.Prob > 1) {
+		return fmt.Errorf("probe-loss: prob %g must be in [0, 1]", e.Prob)
+	}
+	return nil
+}
+
+// in reports whether t falls inside the event's window.
+func (e Event) in(t float64) bool { return t >= e.Start && t < e.End }
+
+// matchesPair reports whether a link event targets the (a, b) pair.
+func (e Event) matchesPair(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	ea, eb := e.A, e.B
+	if ea > eb {
+		ea, eb = eb, ea
+	}
+	return ea == a && eb == b
+}
+
+// Schedule is a validated, seeded fault script. Query methods are
+// safe for concurrent use (the probe-drop sequence is guarded), but
+// determinism across runs additionally requires a deterministic query
+// order, which the single-threaded engine loop provides.
+type Schedule struct {
+	seed   int64
+	events []Event
+
+	mu       sync.Mutex
+	probeSeq map[[2]int]uint64
+}
+
+// NewSchedule validates the events and builds a schedule. The seed
+// drives the deterministic probe-loss decisions.
+func NewSchedule(seed int64, events ...Event) (*Schedule, error) {
+	for i, e := range events {
+		if err := e.validate(); err != nil {
+			return nil, fmt.Errorf("fault.NewSchedule: event %d: %w", i, err)
+		}
+	}
+	s := &Schedule{
+		seed:     seed,
+		events:   append([]Event(nil), events...),
+		probeSeq: make(map[[2]int]uint64),
+	}
+	// Stable order by start time (then kind) so Events and the failure
+	// scan are reproducible regardless of script order.
+	sort.SliceStable(s.events, func(i, j int) bool {
+		if s.events[i].Start != s.events[j].Start {
+			return s.events[i].Start < s.events[j].Start
+		}
+		return s.events[i].Kind < s.events[j].Kind
+	})
+	return s, nil
+}
+
+// Seed returns the schedule's seed.
+func (s *Schedule) Seed() int64 { return s.seed }
+
+// Validate checks every event's processor and group indices against
+// the target system's size. NewSchedule cannot do this (it sees no
+// system), so callers bind the check at wiring time.
+func (s *Schedule) Validate(numProcs, numGroups int) error {
+	if s == nil {
+		return nil
+	}
+	for i, e := range s.events {
+		switch e.Kind {
+		case LinkOutage, LinkDegrade, ProbeLoss:
+			if e.A >= numGroups || e.B >= numGroups {
+				return fmt.Errorf("fault event %d (%s): group pair (%d, %d) out of range for %d groups", i, e.Kind, e.A, e.B, numGroups)
+			}
+		case ProcSlowdown, ProcFailure:
+			if e.Proc >= numProcs {
+				return fmt.Errorf("fault event %d (%s): proc %d out of range for %d processors", i, e.Kind, e.Proc, numProcs)
+			}
+		case GroupDisconnect:
+			if e.Group >= numGroups {
+				return fmt.Errorf("fault event %d (%s): group %d out of range for %d groups", i, e.Kind, e.Group, numGroups)
+			}
+		}
+	}
+	return nil
+}
+
+// Events returns a copy of the validated events in start order.
+func (s *Schedule) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	return append([]Event(nil), s.events...)
+}
+
+// NumEvents returns the event count (0 on nil).
+func (s *Schedule) NumEvents() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+// LinkDown reports whether the link between groups a and b is
+// unusable at time t: a LinkOutage window covers the pair, or either
+// endpoint is group-disconnected.
+func (s *Schedule) LinkDown(a, b int, t float64) bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.events {
+		if !e.in(t) {
+			continue
+		}
+		switch e.Kind {
+		case LinkOutage:
+			if e.matchesPair(a, b) {
+				return true
+			}
+		case GroupDisconnect:
+			if a != b && (e.Group == a || e.Group == b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DegradeFactor returns the product of the β multipliers of every
+// LinkDegrade window covering the pair at time t (1 when none).
+func (s *Schedule) DegradeFactor(a, b int, t float64) float64 {
+	f := 1.0
+	if s == nil {
+		return f
+	}
+	for _, e := range s.events {
+		if e.Kind == LinkDegrade && e.in(t) && e.matchesPair(a, b) {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// DropProbe decides whether the next probe message on the (a, b) link
+// at time t is lost. Each call advances the pair's deterministic
+// drop sequence, so the k-th probe message of a run always sees the
+// same fate under the same seed and script.
+func (s *Schedule) DropProbe(a, b int, t float64) bool {
+	if s == nil {
+		return false
+	}
+	prob := 0.0
+	for _, e := range s.events {
+		if e.Kind == ProbeLoss && e.in(t) && e.matchesPair(a, b) && e.Prob > prob {
+			prob = e.Prob
+		}
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	s.mu.Lock()
+	n := s.probeSeq[key]
+	s.probeSeq[key] = n + 1
+	s.mu.Unlock()
+	if prob <= 0 {
+		return false
+	}
+	return hashUnit(uint64(s.seed), uint64(a)<<32|uint64(uint32(b)), n) < prob
+}
+
+// ProcFactor returns processor p's speed multiplier at time t: the
+// product of every covering ProcSlowdown window, clamped below at
+// 0.01 so modelled compute time stays finite. A processor already
+// past its ProcFailure start returns 0.
+func (s *Schedule) ProcFactor(p int, t float64) float64 {
+	if s == nil {
+		return 1
+	}
+	f := 1.0
+	for _, e := range s.events {
+		switch e.Kind {
+		case ProcFailure:
+			if e.Proc == p && t >= e.Start {
+				return 0
+			}
+		case ProcSlowdown:
+			if e.Proc == p && e.in(t) {
+				f *= e.Factor
+			}
+		}
+	}
+	if f < 0.01 {
+		f = 0.01
+	}
+	return f
+}
+
+// GroupDown reports whether group g is disconnected at time t.
+func (s *Schedule) GroupDown(g int, t float64) bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.events {
+		if e.Kind == GroupDisconnect && e.Group == g && e.in(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// FailuresIn returns the processors whose ProcFailure fires in the
+// window (t0, t1], in event order (duplicates removed).
+func (s *Schedule) FailuresIn(t0, t1 float64) []int {
+	if s == nil {
+		return nil
+	}
+	var out []int
+	seen := map[int]bool{}
+	for _, e := range s.events {
+		if e.Kind == ProcFailure && e.Start > t0 && e.Start <= t1 && !seen[e.Proc] {
+			seen[e.Proc] = true
+			out = append(out, e.Proc)
+		}
+	}
+	return out
+}
+
+// LinkFault binds the schedule to one fabric link (the group pair the
+// link joins). It satisfies netsim's FaultModel interface without an
+// import in either direction.
+type LinkFault struct {
+	s    *Schedule
+	a, b int
+}
+
+// ForLink returns the fault view of the link between groups a and b
+// (a == b for an intra-group link).
+func (s *Schedule) ForLink(a, b int) *LinkFault {
+	return &LinkFault{s: s, a: a, b: b}
+}
+
+// Down reports whether the link is unusable at time t.
+func (lf *LinkFault) Down(t float64) bool { return lf.s.LinkDown(lf.a, lf.b, t) }
+
+// Degrade returns the β multiplier at time t.
+func (lf *LinkFault) Degrade(t float64) float64 { return lf.s.DegradeFactor(lf.a, lf.b, t) }
+
+// DropProbe reports (and consumes) the fate of one probe message.
+func (lf *LinkFault) DropProbe(t float64) bool { return lf.s.DropProbe(lf.a, lf.b, t) }
+
+// hashUnit maps (seed, key, n) to a uniform float64 in [0, 1) with a
+// splitmix64-style mix — deterministic and platform-independent.
+func hashUnit(seed, key, n uint64) float64 {
+	x := seed ^ key*0x9e3779b97f4a7c15 ^ n*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

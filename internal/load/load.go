@@ -108,6 +108,17 @@ func (r *Recorder) SetDelta(d float64) {
 	r.delta = d
 }
 
+// AddDelta accumulates extra overhead into δ — probe retries and
+// backoff stalls are DLB overhead just like the redistribution
+// rebuild, so a flaky network inflates the cost side of Eq. 1 until
+// the next redistribution measures a fresh δ.
+func (r *Recorder) AddDelta(d float64) {
+	if d < 0 {
+		panic("load.AddDelta: negative delta")
+	}
+	r.delta += d
+}
+
 // Delta returns the recorded δ.
 func (r *Recorder) Delta() float64 { return r.delta }
 

@@ -45,6 +45,11 @@ type System struct {
 	// FlopsPerSecond converts kernel flop counts into seconds for a
 	// Perf=1 processor (the virtual-time compute model).
 	FlopsPerSecond float64
+
+	// health[p] is the runtime speed multiplier fault injection
+	// applies to processor p: 1 healthy, (0, 1) slowed, 0 failed.
+	// nil means every processor is healthy.
+	health []float64
 }
 
 // GroupSpec describes one group for the builder.
@@ -120,6 +125,77 @@ func (s *System) TotalPerf() float64 {
 	return sum
 }
 
+// SetHealth records processor p's runtime speed multiplier: 1 fully
+// healthy, a fraction in (0, 1) for an injected slowdown, 0 for a
+// failed processor. The DLB's static Perf weights are untouched —
+// health is what actually happened, Perf is what the scheme believes.
+func (s *System) SetHealth(p int, factor float64) {
+	if factor < 0 || factor > 1 {
+		panic(fmt.Sprintf("machine.SetHealth: factor %g out of [0, 1]", factor))
+	}
+	if s.health == nil {
+		s.health = make([]float64, len(s.Procs))
+		for i := range s.health {
+			s.health[i] = 1
+		}
+	}
+	s.health[p] = factor
+}
+
+// HealthOf returns processor p's current health factor (1 when no
+// fault has ever been recorded).
+func (s *System) HealthOf(p int) float64 {
+	if s.health == nil {
+		return 1
+	}
+	return s.health[p]
+}
+
+// Alive reports whether processor p has not failed.
+func (s *System) Alive(p int) bool { return s.HealthOf(p) > 0 }
+
+// EffectivePerf returns the processor's real current speed: the
+// static Perf weight times the health factor.
+func (s *System) EffectivePerf(p int) float64 {
+	return s.Procs[p].Perf * s.HealthOf(p)
+}
+
+// AliveProcs returns the IDs of every non-failed processor, ascending.
+func (s *System) AliveProcs() []int {
+	out := make([]int, 0, len(s.Procs))
+	for p := range s.Procs {
+		if s.Alive(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AliveInGroup returns the non-failed processors of group g, ascending.
+func (s *System) AliveInGroup(g int) []int {
+	var out []int
+	for _, p := range s.Groups[g].Procs {
+		if s.Alive(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NumAlive returns the count of non-failed processors.
+func (s *System) NumAlive() int {
+	if s.health == nil {
+		return len(s.Procs)
+	}
+	n := 0
+	for p := range s.Procs {
+		if s.Alive(p) {
+			n++
+		}
+	}
+	return n
+}
+
 // SameGroup reports whether processors a and b share a group (their
 // communication is "local" in the paper's terminology).
 func (s *System) SameGroup(a, b int) bool {
@@ -127,8 +203,8 @@ func (s *System) SameGroup(a, b int) bool {
 }
 
 // LinkBetween returns the link used by a message from processor a to
-// processor b.
-func (s *System) LinkBetween(a, b int) *netsim.Link {
+// processor b; the error reports a missing route.
+func (s *System) LinkBetween(a, b int) (*netsim.Link, error) {
 	return s.Net.Between(s.Procs[a].Group, s.Procs[b].Group)
 }
 

@@ -46,8 +46,14 @@ func TestSameGroupAndLinks(t *testing.T) {
 	if !s.SameGroup(0, 1) || s.SameGroup(1, 2) {
 		t.Error("group membership wrong")
 	}
-	local := s.LinkBetween(0, 1)
-	remote := s.LinkBetween(0, 3)
+	local, err := s.LinkBetween(0, 1)
+	if err != nil {
+		t.Fatalf("LinkBetween: %v", err)
+	}
+	remote, err := s.LinkBetween(0, 3)
+	if err != nil {
+		t.Fatalf("LinkBetween: %v", err)
+	}
 	if local.Alpha >= remote.Alpha {
 		t.Error("intra-group link must have lower latency than WAN")
 	}
@@ -68,7 +74,10 @@ func TestOrigin2000SingleGroup(t *testing.T) {
 		t.Fatal("Origin2000 shape wrong")
 	}
 	// All communication routes over the internal interconnect.
-	l := s.LinkBetween(0, 7)
+	l, err := s.LinkBetween(0, 7)
+	if err != nil {
+		t.Fatalf("LinkBetween: %v", err)
+	}
 	if l.Alpha > 1e-5 {
 		t.Error("parallel machine interconnect should be sub-10µs")
 	}
@@ -76,7 +85,10 @@ func TestOrigin2000SingleGroup(t *testing.T) {
 
 func TestLanPairUsesSharedLAN(t *testing.T) {
 	s := LanPair(2, netsim.ConstantTraffic{Level: 0.3})
-	l := s.LinkBetween(0, 2)
+	l, err := s.LinkBetween(0, 2)
+	if err != nil {
+		t.Fatalf("LinkBetween: %v", err)
+	}
 	if l.LoadAt(0) != 0.3 {
 		t.Error("LAN traffic model not wired through")
 	}
@@ -127,8 +139,14 @@ func TestMultiSite(t *testing.T) {
 		t.Fatalf("shape wrong: %s", s)
 	}
 	// Every pair is connected; traffic wired per pair.
-	l01 := s.Net.Between(0, 1)
-	l12 := s.Net.Between(1, 2)
+	l01, err := s.Net.Between(0, 1)
+	if err != nil {
+		t.Fatalf("Between: %v", err)
+	}
+	l12, err := s.Net.Between(1, 2)
+	if err != nil {
+		t.Fatalf("Between: %v", err)
+	}
 	if l01.LoadAt(0) >= l12.LoadAt(0) {
 		t.Error("per-pair traffic models not wired")
 	}

@@ -33,6 +33,52 @@ type Result struct {
 	GlobalEvals, GlobalRedists, LocalMigrations int
 	// MaxCells is the peak total cell count over all levels.
 	MaxCells int64
+
+	// Fault-tolerance outcome (all zero unless fault injection was
+	// enabled for the run).
+	//
+	// FaultEvents is the number of scripted fault events. ProbeRetries
+	// counts failed probe attempts that were retried; ProbeFallbacks
+	// counts evaluations whose cost model ran on the NWS forecast
+	// because every probe attempt failed. RetryTime is the wall time
+	// lost to probe timeouts and backoff (also charged into δ).
+	// QuarantinedSteps counts level-0 boundaries at which at least one
+	// group was unreachable; CatchupEvals counts forced gain/cost
+	// evaluations right after a quarantine lifted. Recoveries counts
+	// checkpoint restores after processor failures; RecoveryTime is
+	// the wall time they consumed (restore plus replayed work);
+	// FailedProcs the processors lost for good.
+	FaultEvents      int
+	ProbeRetries     int
+	ProbeFallbacks   int
+	RetryTime        float64
+	QuarantinedSteps int
+	CatchupEvals     int
+	Recoveries       int
+	RecoveryTime     float64
+	FailedProcs      int
+}
+
+// Faulty reports whether the run observed any fault-layer activity.
+func (r *Result) Faulty() bool {
+	return r.FaultEvents > 0 || r.ProbeRetries > 0 || r.QuarantinedSteps > 0 || r.Recoveries > 0
+}
+
+// FaultSummary renders the fault-tolerance counters, one per line
+// (empty string for a fault-free run).
+func (r *Result) FaultSummary() string {
+	if !r.Faulty() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault events scripted:    %d\n", r.FaultEvents)
+	fmt.Fprintf(&b, "probe retries:            %d (%.3fs charged to delta)\n", r.ProbeRetries, r.RetryTime)
+	fmt.Fprintf(&b, "forecast fallbacks:       %d\n", r.ProbeFallbacks)
+	fmt.Fprintf(&b, "quarantined level-0 steps:%d (catch-up evals %d)\n", r.QuarantinedSteps, r.CatchupEvals)
+	fmt.Fprintf(&b, "processor failures:       %d (recoveries %d, %.3fs lost+replayed)\n",
+		r.FailedProcs, r.Recoveries, r.RecoveryTime)
+	fmt.Fprintf(&b, "recovery phase time:      %.3fs\n", r.Breakdown[vclock.Recovery])
+	return b.String()
 }
 
 // Compute returns the compute share of the breakdown.

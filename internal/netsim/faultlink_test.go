@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// scriptedFault is a test double for the FaultModel interface: down
+// and degraded over fixed windows, dropping the first nDrop probe
+// messages.
+type scriptedFault struct {
+	downLo, downHi float64
+	degrade        float64
+	nDrop          int
+	seen           int
+}
+
+func (f *scriptedFault) Down(t float64) bool { return t >= f.downLo && t < f.downHi }
+func (f *scriptedFault) Degrade(t float64) float64 {
+	if f.degrade == 0 {
+		return 1
+	}
+	return f.degrade
+}
+func (f *scriptedFault) DropProbe(t float64) bool {
+	f.seen++
+	return f.seen <= f.nDrop
+}
+
+func TestAvailableAndDegrade(t *testing.T) {
+	l := MrenWAN(nil)
+	if !l.Available(5) {
+		t.Error("fault-free link must always be available")
+	}
+	base := l.EffectiveBeta(0)
+	l.Fault = &scriptedFault{downLo: 10, downHi: 20, degrade: 4}
+	if l.Available(15) || !l.Available(5) || !l.Available(20) {
+		t.Error("availability window wrong")
+	}
+	if got := l.EffectiveBeta(0); math.Abs(got-4*base)/base > 1e-12 {
+		t.Errorf("degraded beta %v, want %v", got, 4*base)
+	}
+}
+
+func TestTryProbeFailsWhenDown(t *testing.T) {
+	l := MrenWAN(nil)
+	l.Fault = &scriptedFault{downLo: 0, downHi: 100}
+	_, _, pt, err := l.TryProbe(5)
+	if err == nil {
+		t.Fatal("probe over a down link must fail")
+	}
+	if pt != 0 {
+		t.Errorf("failed probe must not report probe time, got %v", pt)
+	}
+	// Outside the window it matches the fault-blind probe.
+	a1, b1, t1 := l.Probe(200)
+	a2, b2, t2, err := l.TryProbe(200)
+	if err != nil {
+		t.Fatalf("probe after window: %v", err)
+	}
+	if a1 != a2 || b1 != b2 || t1 != t2 {
+		t.Error("TryProbe must match Probe when healthy")
+	}
+}
+
+func TestTryProbeDropsMessages(t *testing.T) {
+	l := MrenWAN(nil)
+	l.Fault = &scriptedFault{nDrop: 2}
+	if _, _, _, err := l.TryProbe(0); err == nil || !strings.Contains(err.Error(), "message 1") {
+		t.Fatalf("first message drop: %v", err)
+	}
+	// The second drop hits the second call's first message; the third
+	// call then gets both messages through.
+	if _, _, _, err := l.TryProbe(0); err == nil {
+		t.Fatal("second probe must also fail")
+	}
+	if _, _, _, err := l.TryProbe(0); err != nil {
+		t.Fatalf("drops exhausted, want success: %v", err)
+	}
+}
+
+func TestProbeWithRetryRecoversAndTimes(t *testing.T) {
+	l := MrenWAN(nil)
+	l.Fault = &scriptedFault{nDrop: 2} // first attempt loses msg1, second loses msg1, third succeeds
+	pol := RetryPolicy{MaxAttempts: 3, Timeout: 0.5, Backoff: 0.2, MaxBackoff: 1}
+	a, b, elapsed, retryTime, attempts, err := l.ProbeWithRetry(0, pol)
+	if err != nil {
+		t.Fatalf("retry must eventually succeed: %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	// Two failures cost 2 timeouts + backoffs 0.2 and 0.4.
+	wantRetry := 2*0.5 + 0.2 + 0.4
+	if math.Abs(retryTime-wantRetry) > 1e-12 {
+		t.Errorf("retryTime = %v, want %v", retryTime, wantRetry)
+	}
+	// Elapsed = retry overhead + the successful probe itself.
+	_, _, pt := l.Probe(wantRetry)
+	if math.Abs(elapsed-(wantRetry+pt)) > 1e-12 {
+		t.Errorf("elapsed = %v, want %v", elapsed, wantRetry+pt)
+	}
+	if a <= 0 || b <= 0 {
+		t.Errorf("estimates must be positive: α=%v β=%v", a, b)
+	}
+}
+
+func TestProbeWithRetryExhausts(t *testing.T) {
+	l := MrenWAN(nil)
+	l.Fault = &scriptedFault{downLo: 0, downHi: 1e9}
+	pol := RetryPolicy{MaxAttempts: 4, Timeout: 0.25, Backoff: 0.1, MaxBackoff: 0.15}
+	_, _, elapsed, retryTime, attempts, err := l.ProbeWithRetry(0, pol)
+	if err == nil {
+		t.Fatal("retry over a dead link must fail")
+	}
+	if attempts != 4 {
+		t.Errorf("attempts = %d, want 4", attempts)
+	}
+	// 4 timeouts + backoffs 0.1, 0.15 (capped), 0.15 (capped).
+	want := 4*0.25 + 0.1 + 0.15 + 0.15
+	if math.Abs(elapsed-want) > 1e-12 || math.Abs(retryTime-want) > 1e-12 {
+		t.Errorf("elapsed %v retry %v, want both %v", elapsed, retryTime, want)
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p.MaxAttempts != 3 || p.Timeout != 0.25 || p.Backoff != 0.1 || p.MaxBackoff != 2 {
+		t.Errorf("defaults wrong: %+v", p)
+	}
+	// Explicit values survive.
+	q := RetryPolicy{MaxAttempts: 7, Timeout: 1, Backoff: 2, MaxBackoff: 3}.withDefaults()
+	if q.MaxAttempts != 7 || q.Timeout != 1 || q.Backoff != 2 || q.MaxBackoff != 3 {
+		t.Errorf("explicit policy clobbered: %+v", q)
+	}
+}

@@ -210,10 +210,18 @@ func TestFabricRouting(t *testing.T) {
 	f.SetIntra(0, li0)
 	f.SetIntra(1, li1)
 	f.SetInter(0, 1, wan)
-	if f.Between(0, 0) != li0 || f.Between(1, 1) != li1 {
+	mustLink := func(a, b int) *Link {
+		t.Helper()
+		l, err := f.Between(a, b)
+		if err != nil {
+			t.Fatalf("Between(%d,%d): %v", a, b, err)
+		}
+		return l
+	}
+	if mustLink(0, 0) != li0 || mustLink(1, 1) != li1 {
 		t.Error("intra routing wrong")
 	}
-	if f.Between(0, 1) != wan || f.Between(1, 0) != wan {
+	if mustLink(0, 1) != wan || mustLink(1, 0) != wan {
 		t.Error("inter routing must be symmetric")
 	}
 	if f.NumGroups() != 2 {
@@ -221,14 +229,58 @@ func TestFabricRouting(t *testing.T) {
 	}
 }
 
-func TestFabricMissingLinkPanics(t *testing.T) {
+func TestFabricMissingLinkErrors(t *testing.T) {
 	f := NewFabric(2)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+	if _, err := f.Between(0, 1); err == nil {
+		t.Error("missing inter link must be an error")
+	}
+	if _, err := f.Intra(0); err == nil {
+		t.Error("missing intra link must be an error")
+	}
+	if _, err := f.Intra(-1); err == nil {
+		t.Error("out-of-range group must be an error")
+	}
+	if _, err := f.Intra(2); err == nil {
+		t.Error("out-of-range group must be an error")
+	}
+}
+
+func TestFabricEachLinkDeterministic(t *testing.T) {
+	f := NewFabric(3)
+	for g := 0; g < 3; g++ {
+		f.SetIntra(g, OriginInterconnect())
+	}
+	f.SetInter(0, 1, MrenWAN(nil))
+	f.SetInter(1, 2, MrenWAN(nil))
+	f.SetInter(0, 2, MrenWAN(nil))
+	visit := func() [][2]int {
+		var out [][2]int
+		f.EachLink(func(a, b int, l *Link) {
+			if l == nil {
+				t.Fatal("nil link visited")
+			}
+			out = append(out, [2]int{a, b})
+		})
+		return out
+	}
+	first := visit()
+	want := [][2]int{{0, 0}, {1, 1}, {2, 2}, {0, 1}, {0, 2}, {1, 2}}
+	if len(first) != len(want) {
+		t.Fatalf("visited %v, want %v", first, want)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("visit order %v, want %v", first, want)
 		}
-	}()
-	f.Between(0, 1)
+	}
+	for trial := 0; trial < 5; trial++ {
+		again := visit()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatal("EachLink order not deterministic")
+			}
+		}
+	}
 }
 
 func TestStandardLinks(t *testing.T) {

@@ -22,6 +22,19 @@ const (
 	GlobalCheck
 	Redistribution
 	Regrid
+	// ProbeRetry records a global-phase probe that needed retries (or
+	// exhausted them and fell back to the forecast).
+	ProbeRetry
+	// Quarantine records a level-0 boundary at which one or more
+	// groups were unreachable and the run degraded to local-only
+	// balancing.
+	Quarantine
+	// Recovery records a checkpoint restore after an injected
+	// processor failure.
+	Recovery
+	// Fault records a raw injected fault observed by the engine
+	// (processor failure, outage window edges).
+	Fault
 )
 
 func (k Kind) String() string {
@@ -36,6 +49,14 @@ func (k Kind) String() string {
 		return "redistribution"
 	case Regrid:
 		return "regrid"
+	case ProbeRetry:
+		return "probe-retry"
+	case Quarantine:
+		return "quarantine"
+	case Recovery:
+		return "recovery"
+	case Fault:
+		return "fault"
 	default:
 		return "unknown"
 	}

@@ -20,6 +20,11 @@ const (
 	DLBOverhead
 	Redistribution
 	Regrid
+	// Recovery is checkpointing plus failure recovery: the wall time
+	// spent writing periodic checkpoints, restoring after an injected
+	// processor failure, and re-doing the work lost since the last
+	// checkpoint.
+	Recovery
 	numPhases
 )
 
@@ -27,7 +32,7 @@ const (
 const NumPhases = int(numPhases)
 
 var phaseNames = [...]string{
-	"compute", "local-comm", "remote-comm", "dlb-overhead", "redistribution", "regrid",
+	"compute", "local-comm", "remote-comm", "dlb-overhead", "redistribution", "regrid", "recovery",
 }
 
 func (p Phase) String() string {
