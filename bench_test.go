@@ -359,3 +359,166 @@ func BenchmarkForecastRecord(b *testing.B) {
 		s.Record(float64(i % 17))
 	}
 }
+
+// --- DLB decision-path benchmarks: incremental ledger vs recompute ---
+//
+// Each pair measures one decision-path operation at ~4k level-0 grids
+// on a 128-processor WAN pair, once through the incrementally
+// maintained load ledger and once through the original walk-the-
+// hierarchy recompute (the -ledgercheck oracle path). The grid count
+// matches a large SAMR run where per-decision O(grids) bookkeeping
+// starts to rival the useful work.
+
+// bench4k builds a balanced 4096-grid level 0 over 128 processors.
+func bench4k() (*machine.System, *amr.Hierarchy) {
+	sys := machine.WanPair(64, nil) // 64+64 procs, 2 groups
+	h := amr.New(geom.UnitCube(64), 2, 1, 1, false, "q")
+	boxes := geom.BoxList{h.Domain}.SplitEvenly(4096)
+	for i, bx := range boxes {
+		h.AddGrid(0, bx, i%sys.NumProcs(), amr.NoGrid)
+	}
+	return sys, h
+}
+
+// BenchmarkDecisionGainLedger measures the engine's per-decision Gain
+// path with the ledger: an O(procs) snapshot of per-processor level
+// work feeds the recorder's incrementally bound Eq. 2 aggregates.
+func BenchmarkDecisionGainLedger(b *testing.B) {
+	sys, h := bench4k()
+	led := load.NewLedger(sys, h, nil)
+	h.SetListener(led)
+	rec := load.NewRecorder(sys.NumProcs(), h.MaxLevel)
+	rec.BindGroups(sys)
+	rec.SetIntervalTime(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < sys.NumProcs(); p++ {
+			rec.RecordLevelWork(p, 0, led.ProcCells(0, p))
+		}
+		if g := rec.Gain(sys); g < 0 {
+			b.Fatal("negative gain")
+		}
+	}
+}
+
+// BenchmarkDecisionGainRecompute is the pre-ledger baseline: the
+// snapshot walks every grid and the unbound recorder recomputes the
+// group sums over all processors.
+func BenchmarkDecisionGainRecompute(b *testing.B) {
+	sys, h := bench4k()
+	rec := load.NewRecorder(sys.NumProcs(), h.MaxLevel)
+	rec.SetIntervalTime(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The pre-ledger decision path allocated its snapshot buffer per
+		// decision (see the levelWork fallback); charge the same here.
+		w := make([]float64, sys.NumProcs())
+		for _, g := range h.Grids(0) {
+			w[g.Owner] += float64(g.NumCells())
+		}
+		for p, v := range w {
+			rec.RecordLevelWork(p, 0, v)
+		}
+		if g := rec.Gain(sys); g < 0 {
+			b.Fatal("negative gain")
+		}
+	}
+}
+
+// BenchmarkDecisionGroupWorksLedger measures the Eq. 2/3 group-work
+// table through the incrementally bound recorder.
+func BenchmarkDecisionGroupWorksLedger(b *testing.B) {
+	sys, h := bench4k()
+	rec := newRecorder(sys, h)
+	rec.BindGroups(sys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		works := rec.GroupWorks(sys)
+		if len(works) != sys.NumGroups() {
+			b.Fatal("bad group works")
+		}
+	}
+}
+
+// BenchmarkDecisionGroupWorksRecompute evaluates the same table
+// through the recompute oracle (summing every processor per query).
+func BenchmarkDecisionGroupWorksRecompute(b *testing.B) {
+	sys, h := bench4k()
+	rec := newRecorder(sys, h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < sys.NumGroups(); g++ {
+			if rec.GroupWorkRecompute(sys, g) < 0 {
+				b.Fatal("negative work")
+			}
+		}
+	}
+}
+
+// BenchmarkDecisionBalanceOverLedger measures the local phase's setup
+// cost on an already balanced 4k-grid level with the ledger supplying
+// the load maps and owned-grid lists.
+func BenchmarkDecisionBalanceOverLedger(b *testing.B) {
+	sys, h := bench4k()
+	led := load.NewLedger(sys, h, nil)
+	h.SetListener(led)
+	ctx := &dlb.Context{Sys: sys, H: h, Load: newRecorder(sys, h), Ledger: led}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if migs := (dlb.ParallelDLB{}).LocalBalance(ctx, 0); len(migs) != 0 {
+			b.Fatal("balanced level must not migrate")
+		}
+	}
+}
+
+// BenchmarkDecisionBalanceOverRecompute is the same pass building its
+// load maps by walking all 4k grids.
+func BenchmarkDecisionBalanceOverRecompute(b *testing.B) {
+	sys, h := bench4k()
+	ctx := &dlb.Context{Sys: sys, H: h, Load: newRecorder(sys, h)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if migs := (dlb.ParallelDLB{}).LocalBalance(ctx, 0); len(migs) != 0 {
+			b.Fatal("balanced level must not migrate")
+		}
+	}
+}
+
+// BenchmarkDecisionGlobalCheckLedger measures the full distributed
+// global-phase decision (trigger check through gain/cost, no
+// redistribution on a balanced system) with ledger-backed aggregates.
+func BenchmarkDecisionGlobalCheckLedger(b *testing.B) {
+	sys, h := bench4k()
+	led := load.NewLedger(sys, h, nil)
+	h.SetListener(led)
+	rec := newRecorder(sys, h)
+	rec.BindGroups(sys)
+	ctx := &dlb.Context{Sys: sys, H: h, Load: rec, Ledger: led}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := (dlb.DistributedDLB{}).GlobalBalance(ctx); d.Invoked {
+			b.Fatal("balanced system must not redistribute")
+		}
+	}
+}
+
+// BenchmarkDecisionGlobalCheckRecompute is the same decision with
+// every aggregate recomputed from the hierarchy.
+func BenchmarkDecisionGlobalCheckRecompute(b *testing.B) {
+	sys, h := bench4k()
+	ctx := &dlb.Context{Sys: sys, H: h, Load: newRecorder(sys, h)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := (dlb.DistributedDLB{}).GlobalBalance(ctx); d.Invoked {
+			b.Fatal("balanced system must not redistribute")
+		}
+	}
+}

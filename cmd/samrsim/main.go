@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"samrdlb/internal/dlb"
 	"samrdlb/internal/engine"
@@ -41,8 +43,25 @@ func main() {
 		faultsIn = flag.String("faults", "", "fault script file (see internal/fault): enables fault injection")
 		faultSd  = flag.Int64("faultseed", 0, "fault schedule seed (0 = use -seed)")
 		ckptIval = flag.Int("ckpt-interval", 0, "level-0 steps between recovery checkpoints (0 = default 4)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		ledCheck = flag.Bool("ledgercheck", false, "verify the incremental load ledger against a full recomputation after every hierarchy mutation (slow; debug oracle)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	var driver workload.Driver
 	switch *dataset {
@@ -129,6 +148,7 @@ func main() {
 		History:            hist,
 		Faults:             sched,
 		CheckpointInterval: *ckptIval,
+		LedgerCheck:        *ledCheck,
 	})
 	res := runner.Run()
 
@@ -142,6 +162,7 @@ func main() {
 		res.GlobalEvals, res.GlobalRedists, res.LocalMigrations)
 	fmt.Print(runner.Hierarchy().Summarize())
 	fmt.Printf("peak cells (all levels): %d, utilisation: %.2f\n", res.MaxCells, res.Utilisation)
+	fmt.Printf("load ledger: %d incremental events, %d full rebuilds\n", res.LedgerEvents, res.LedgerRebuilds)
 	if res.Faulty() {
 		fmt.Printf("\nFault injection summary:\n%s", res.FaultSummary())
 	}
@@ -167,5 +188,19 @@ func main() {
 	if *traceOut {
 		fmt.Println("\nEvent trace:")
 		fmt.Print(tr.String())
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		f.Close()
 	}
 }

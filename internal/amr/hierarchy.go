@@ -51,6 +51,24 @@ func (g *Grid) Bytes(numFields int) int64 {
 	return g.Box.NumCells() * int64(numFields) * 8
 }
 
+// Listener observes the hierarchy's structural and ownership
+// mutations, one call per grid per event. The load ledger subscribes
+// to maintain its aggregates in O(changes) instead of re-walking the
+// tree; tests subscribe to audit event completeness.
+//
+// Contract: GridAdded fires after the grid is fully inserted;
+// GridRemoved fires just after the grid left the hierarchy, while its
+// ancestor chain is still present (children are always removed before
+// their parents) — the removed grid's own fields stay readable on g.
+// OwnerChanged and ParentChanged fire after the field has been
+// updated, passing the previous value.
+type Listener interface {
+	GridAdded(h *Hierarchy, g *Grid)
+	GridRemoved(h *Hierarchy, g *Grid)
+	OwnerChanged(h *Hierarchy, g *Grid, oldOwner int)
+	ParentChanged(h *Hierarchy, g *Grid, oldParent GridID)
+}
+
 // Hierarchy is the SAMR grid tree.
 type Hierarchy struct {
 	// Domain is the level-0 problem domain.
@@ -77,6 +95,40 @@ type Hierarchy struct {
 	// affect box overlap structure.
 	gen   uint64
 	plans map[int]*planCache
+
+	listener Listener
+}
+
+// SetListener subscribes l to the hierarchy's mutation events (nil
+// unsubscribes). Only one listener is supported; the engine installs
+// the load ledger.
+func (h *Hierarchy) SetListener(l Listener) { h.listener = l }
+
+// SetOwner reassigns a grid to a processor, notifying the listener.
+// All ownership changes (migration, redistribution, repartitioning)
+// must go through here so incremental load bookkeeping stays exact.
+func (h *Hierarchy) SetOwner(g *Grid, owner int) {
+	if g.Owner == owner {
+		return
+	}
+	old := g.Owner
+	g.Owner = owner
+	if h.listener != nil {
+		h.listener.OwnerChanged(h, g, old)
+	}
+}
+
+// setParent re-links a grid under a new parent (NoGrid detaches),
+// notifying the listener so subtree aggregates can follow the move.
+func (h *Hierarchy) setParent(g *Grid, parent GridID) {
+	if g.Parent == parent {
+		return
+	}
+	old := g.Parent
+	g.Parent = parent
+	if h.listener != nil {
+		h.listener.ParentChanged(h, g, old)
+	}
 }
 
 // New creates an empty hierarchy.
@@ -161,6 +213,9 @@ func (h *Hierarchy) AddGrid(level int, box geom.Box, owner int, parent GridID) *
 	}
 	h.levels[level] = append(h.levels[level], g)
 	h.byID[g.ID] = g
+	if h.listener != nil {
+		h.listener.GridAdded(h, g)
+	}
 	return g
 }
 
@@ -184,14 +239,27 @@ func (h *Hierarchy) RemoveGrid(id GridID) {
 	}
 	delete(h.byID, id)
 	h.gen++
+	if h.listener != nil {
+		h.listener.GridRemoved(h, g)
+	}
 }
 
 // ClearLevelsFrom removes every grid at level l and deeper (used by
 // regridding, which rebuilds fine levels from scratch).
 func (h *Hierarchy) ClearLevelsFrom(l int) {
+	// Deepest level first, so every grid's removal event fires while
+	// its parent chain is still intact (the Listener contract). Each
+	// grid leaves the level list and ID map before its event fires, so
+	// a listener always observes a self-consistent hierarchy.
 	for lv := h.MaxLevel; lv >= l; lv-- {
-		for _, g := range h.levels[lv] {
+		for len(h.levels[lv]) > 0 {
+			n := len(h.levels[lv])
+			g := h.levels[lv][n-1]
+			h.levels[lv] = h.levels[lv][:n-1]
 			delete(h.byID, g.ID)
+			if h.listener != nil {
+				h.listener.GridRemoved(h, g)
+			}
 		}
 		h.levels[lv] = nil
 	}
@@ -299,7 +367,7 @@ func (h *Hierarchy) SplitGrid(g *Grid, d, at int) (*Grid, *Grid) {
 	children := h.Children(g)
 	// Detach children so RemoveGrid succeeds; re-parent below.
 	for _, c := range children {
-		c.Parent = NoGrid
+		h.setParent(c, NoGrid)
 	}
 	h.RemoveGrid(g.ID)
 	lo := h.AddGrid(g.Level, loBox, g.Owner, g.Parent)
@@ -312,9 +380,9 @@ func (h *Hierarchy) SplitGrid(g *Grid, d, at int) (*Grid, *Grid) {
 	}
 	for _, c := range children {
 		if loBox.ContainsBox(c.Box.Coarsen(h.RefFactor)) {
-			c.Parent = lo.ID
+			h.setParent(c, lo.ID)
 		} else {
-			c.Parent = hi.ID
+			h.setParent(c, hi.ID)
 		}
 	}
 	return lo, hi

@@ -63,12 +63,20 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 	var d GlobalDecision
 	sys := ctx.Sys
 	if sys.NumGroups() < 2 {
-		// Degenerate distributed system: only the local phase exists.
+		// Degenerate distributed system: there is no inter-group link
+		// to probe, but the level-0 redistribution is still the
+		// scheme's global phase, not local traffic. Marking it
+		// evaluated makes the engine charge the moves to the
+		// Redistribution phase and record δ, so the cost side of
+		// Eq. 1 keeps its history on one-group systems (previously the
+		// moves were mis-charged as LocalComm and δ silently stayed
+		// zero). Gain/Cost remain zero: no estimate was needed.
 		d.Migrations = balanceOver(ctx, 0, allProcs(ctx))
 		for _, m := range d.Migrations {
 			d.MovedBytes += m.Bytes
 		}
 		d.Invoked = len(d.Migrations) > 0
+		d.Evaluated = d.Invoked
 		return d
 	}
 
@@ -212,8 +220,12 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 }
 
 // groupLevel0Cells returns the donor group's W^0: total level-0 cells
-// owned by its processors.
+// owned by its processors. O(1) from the ledger; a full level-0 walk
+// otherwise.
 func groupLevel0Cells(ctx *Context, group int) int64 {
+	if ctx.Ledger != nil {
+		return ctx.Ledger.GroupLevel0Cells(group)
+	}
 	var n int64
 	for _, g := range ctx.H.Grids(0) {
 		if ctx.Sys.GroupOf(g.Owner) == group {
@@ -225,8 +237,13 @@ func groupLevel0Cells(ctx *Context, group int) int64 {
 
 // subtreeWork returns the iteration-weighted workload of a grid and
 // all its descendants: a level-l cell advances r^l times per level-0
-// step (Eq. 3's N^i_iter weighting for fully subcycled levels).
+// step (Eq. 3's N^i_iter weighting for fully subcycled levels). The
+// ledger answers in O(1); the fallback recursion is O(subtree ×
+// level-width) because Children scans the next level.
 func subtreeWork(ctx *Context, g *amr.Grid) float64 {
+	if ctx.Ledger != nil {
+		return ctx.Ledger.SubtreeWork(g.ID)
+	}
 	iters := 1.0
 	for l := 0; l < g.Level; l++ {
 		iters *= float64(ctx.H.RefFactor)
@@ -239,7 +256,11 @@ func subtreeWork(ctx *Context, g *amr.Grid) float64 {
 }
 
 // groupSubtreeWork sums subtreeWork over the group's level-0 grids.
+// O(1) from the ledger; a recursive hierarchy walk otherwise.
 func groupSubtreeWork(ctx *Context, group int) float64 {
+	if ctx.Ledger != nil {
+		return ctx.Ledger.GroupSubtreeWork(group)
+	}
 	var w float64
 	for _, g := range ctx.H.Grids(0) {
 		if ctx.Sys.GroupOf(g.Owner) == group {
@@ -256,9 +277,15 @@ func groupSubtreeWork(ctx *Context, group int) float64 {
 func moveLevel0(ctx *Context, donor, recv int, moveWork float64) []Migration {
 	target := receiverCentroid(ctx, recv)
 	var donorGrids []*amr.Grid
-	for _, g := range ctx.H.Grids(0) {
-		if ctx.Sys.GroupOf(g.Owner) == donor {
-			donorGrids = append(donorGrids, g)
+	if ctx.Ledger != nil {
+		for _, p := range sortedCopy(ctx.Sys.ProcsInGroup(donor)) {
+			donorGrids = append(donorGrids, ctx.Ledger.Owned(0, p)...)
+		}
+	} else {
+		for _, g := range ctx.H.Grids(0) {
+			if ctx.Sys.GroupOf(g.Owner) == donor {
+				donorGrids = append(donorGrids, g)
+			}
 		}
 	}
 	sort.Slice(donorGrids, func(i, j int) bool {
@@ -282,7 +309,7 @@ func moveLevel0(ctx *Context, donor, recv int, moveWork float64) []Migration {
 		if work <= remaining*1.25 {
 			// Move the whole grid.
 			from := g.Owner
-			g.Owner = leastLoadedProc(ctx, recvProcs, 0)
+			ctx.H.SetOwner(g, leastLoadedProc(ctx, recvProcs, 0))
 			out = append(out, Migration{Grid: g.ID, From: from, To: g.Owner, Bytes: g.Bytes(numFields)})
 			remaining -= work
 			continue
@@ -295,7 +322,7 @@ func moveLevel0(ctx *Context, donor, recv int, moveWork float64) []Migration {
 			break
 		}
 		from := piece.Owner
-		piece.Owner = leastLoadedProc(ctx, recvProcs, 0)
+		ctx.H.SetOwner(piece, leastLoadedProc(ctx, recvProcs, 0))
 		out = append(out, Migration{Grid: piece.ID, From: from, To: piece.Owner, Bytes: piece.Bytes(numFields)})
 		break
 	}

@@ -35,6 +35,12 @@ type Context struct {
 	Sys  *machine.System
 	H    *amr.Hierarchy
 	Load *load.Recorder
+	// Ledger, when non-nil, supplies the incrementally maintained
+	// aggregates (per-processor level loads, subtree works, owned-grid
+	// lists) so the decision path reads O(1)/O(procs) state. When nil
+	// every helper falls back to recomputing by walking the hierarchy
+	// — the original behaviour, kept as the -ledgercheck oracle.
+	Ledger *load.Ledger
 	// Now returns the current virtual time, needed to probe links
 	// whose background traffic varies.
 	Now func() float64
@@ -148,8 +154,13 @@ type Balancer interface {
 	GlobalBalance(ctx *Context) GlobalDecision
 }
 
-// levelWork returns each processor's cell count at the given level.
+// levelWork returns each processor's cell count at the given level:
+// an O(procs) ledger read when one is attached, else a full walk of
+// the level's grids.
 func levelWork(ctx *Context, level int) []float64 {
+	if ctx.Ledger != nil {
+		return ctx.Ledger.LevelWork(level)
+	}
 	w := make([]float64, ctx.Sys.NumProcs())
 	for _, g := range ctx.H.Grids(level) {
 		w[g.Owner] += float64(g.NumCells())
@@ -166,24 +177,35 @@ func balanceOver(ctx *Context, level int, procs []int) []Migration {
 	if len(grids) == 0 || len(procs) < 2 {
 		return nil
 	}
-	inSet := make(map[int]bool, len(procs))
-	for _, p := range procs {
-		inSet[p] = true
-	}
-	// Normalised load = cells / perf.
+	// Load maps: an O(procs) ledger read when one is attached, else a
+	// full walk of the level's grids (the recompute oracle path).
 	loadOf := make(map[int]float64, len(procs))
+	byOwner := make(map[int][]*amr.Grid)
 	var perfSum, total float64
 	for _, p := range procs {
 		perfSum += ctx.Sys.Perf(p)
 	}
-	byOwner := make(map[int][]*amr.Grid)
-	for _, g := range grids {
-		if !inSet[g.Owner] {
-			continue
+	if ctx.Ledger != nil {
+		for _, p := range procs {
+			loadOf[p] = ctx.Ledger.ProcCells(level, p)
+			total += loadOf[p]
+			// Copy: migrations mutate both these working lists and,
+			// through ownership events, the ledger's own lists.
+			byOwner[p] = append([]*amr.Grid(nil), ctx.Ledger.Owned(level, p)...)
 		}
-		loadOf[g.Owner] += float64(g.NumCells())
-		total += float64(g.NumCells())
-		byOwner[g.Owner] = append(byOwner[g.Owner], g)
+	} else {
+		inSet := make(map[int]bool, len(procs))
+		for _, p := range procs {
+			inSet[p] = true
+		}
+		for _, g := range grids {
+			if !inSet[g.Owner] {
+				continue
+			}
+			loadOf[g.Owner] += float64(g.NumCells())
+			total += float64(g.NumCells())
+			byOwner[g.Owner] = append(byOwner[g.Owner], g)
+		}
 	}
 	if total == 0 {
 		return nil
@@ -213,8 +235,14 @@ func balanceOver(ctx *Context, level int, procs []int) []Migration {
 		cells := float64(g.NumCells())
 		if cells > budget {
 			// Moving would overshoot; only do it if it still improves.
-			newSpread := math.Abs((loadOf[dst] + cells) - (loadOf[src] - cells))
-			oldSpread := loadOf[src] - loadOf[dst]
+			// The spread test must use the same perf-normalised loads
+			// donor/receiver selection uses: on heterogeneous
+			// processors a raw-cell comparison stops the loop early or
+			// accepts moves that worsen the normalised imbalance
+			// (e.g. shipping a large grid to a slow processor).
+			srcPerf, dstPerf := ctx.Sys.Perf(src), ctx.Sys.Perf(dst)
+			newSpread := math.Abs((loadOf[dst]+cells)/dstPerf - (loadOf[src]-cells)/srcPerf)
+			oldSpread := loadOf[src]/srcPerf - loadOf[dst]/dstPerf
 			if newSpread >= oldSpread {
 				break
 			}
@@ -242,15 +270,20 @@ func extremeProcs(ctx *Context, procs []int, loadOf map[int]float64) (src, dst i
 }
 
 // pickGrid returns the largest grid with at most `budget` cells, or
-// the overall smallest grid when none fits.
+// the overall smallest grid when none fits. Ties break on the lowest
+// grid ID — never on slice position, which shifts as migrations
+// append to and delete from the per-owner lists — so migration
+// sequences are insensitive to grid traversal order.
 func pickGrid(grids []*amr.Grid, budget float64) *amr.Grid {
 	var best, smallest *amr.Grid
 	for _, g := range grids {
 		c := float64(g.NumCells())
-		if smallest == nil || c < float64(smallest.NumCells()) {
+		if smallest == nil || c < float64(smallest.NumCells()) ||
+			(c == float64(smallest.NumCells()) && g.ID < smallest.ID) {
 			smallest = g
 		}
-		if c <= budget && (best == nil || c > float64(best.NumCells())) {
+		if c <= budget && (best == nil || c > float64(best.NumCells()) ||
+			(c == float64(best.NumCells()) && g.ID < best.ID)) {
 			best = g
 		}
 	}
@@ -271,7 +304,7 @@ func migrate(ctx *Context, g *amr.Grid, to int, out *[]Migration, byOwner map[in
 			break
 		}
 	}
-	g.Owner = to
+	ctx.H.SetOwner(g, to)
 	byOwner[to] = append(byOwner[to], g)
 	loadOf[from] -= cells
 	loadOf[to] += cells

@@ -1,0 +1,219 @@
+package dlb
+
+import (
+	"testing"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/geom"
+	"samrdlb/internal/load"
+	"samrdlb/internal/machine"
+)
+
+// ledgerCtx attaches an installed ledger to a context, as the engine
+// does.
+func ledgerCtx(sys *machine.System, h *amr.Hierarchy) *Context {
+	ctx := ctxFor(sys, h)
+	ctx.Ledger = load.NewLedger(sys, h, nil)
+	h.SetListener(ctx.Ledger)
+	return ctx
+}
+
+func TestBalanceOverHeterogeneousOvershoot(t *testing.T) {
+	// Regression for the overshoot check: proc 0 runs at perf 1, proc 1
+	// at perf 0.5. Proc 1 holds a 30-cell and a 10-cell grid. After the
+	// 10-cell grid moves, the 30-cell grid exceeds the remaining budget
+	// — but moving it still shrinks the perf-normalised spread (50 →
+	// 40). The old raw-cell spread test compared 40 against 20 and
+	// stopped, stranding the big grid on the slow processor at a
+	// normalised imbalance of 6:1.
+	sys := machine.Heterogeneous(1, 1, 0.5, nil)
+	h := amr.New(geom.UnitCube(8), 2, 1, 1, false, "q")
+	h.AddGrid(0, geom.BoxFromShape(geom.Index{0, 0, 0}, geom.Index{5, 3, 2}), 1, amr.NoGrid) // 30 cells
+	h.AddGrid(0, geom.BoxFromShape(geom.Index{0, 3, 0}, geom.Index{5, 2, 1}), 1, amr.NoGrid) // 10 cells
+	ctx := ctxFor(sys, h)
+	balanceOver(ctx, 0, []int{0, 1})
+	pc := procCells(ctx, 0)
+	// The fast processor must end with the 30-cell grid; the only
+	// normalised-spread-minimising assignment at this granularity is
+	// 30/10 (norm 30 vs 20), never 10/30 (norm 10 vs 60).
+	if pc[0] != 30 || pc[1] != 10 {
+		t.Errorf("heterogeneous balance left %v/%v cells, want 30/10 on the fast proc", pc[0], pc[1])
+	}
+}
+
+func TestBalanceOverHomogeneousOvershootStillBreaks(t *testing.T) {
+	// On equal-perf processors the fixed check reduces to the original:
+	// a move that cannot improve the raw spread must not happen.
+	sys := machine.WanPair(1, nil) // 2 procs, perf 1 each
+	h := amr.New(geom.UnitCube(8), 2, 1, 1, false, "q")
+	h.AddGrid(0, geom.BoxFromShape(geom.Index{0, 0, 0}, geom.Index{4, 8, 8}), 0, amr.NoGrid) // 256
+	h.AddGrid(0, geom.BoxFromShape(geom.Index{4, 0, 0}, geom.Index{4, 8, 8}), 0, amr.NoGrid) // 256
+	ctx := ctxFor(sys, h)
+	migs := balanceOver(ctx, 0, []int{0, 1})
+	if len(migs) != 1 {
+		t.Fatalf("expected exactly one migration, got %d", len(migs))
+	}
+	pc := procCells(ctx, 0)
+	if pc[0] != 256 || pc[1] != 256 {
+		t.Errorf("homogeneous balance got %v/%v, want 256/256", pc[0], pc[1])
+	}
+}
+
+func TestPickGridTieBreaksByID(t *testing.T) {
+	mk := func(ids ...amr.GridID) []*amr.Grid {
+		box := geom.BoxFromShape(geom.Index{0, 0, 0}, geom.Index{2, 2, 2})
+		out := make([]*amr.Grid, len(ids))
+		for i, id := range ids {
+			out[i] = &amr.Grid{ID: id, Box: box} // 8 cells each
+		}
+		return out
+	}
+	// Equal sizes under budget: lowest ID wins, whatever the order.
+	for _, perm := range [][]amr.GridID{{3, 1, 2}, {2, 3, 1}, {1, 2, 3}} {
+		if g := pickGrid(mk(perm...), 100); g.ID != 1 {
+			t.Errorf("order %v: best pick = %d, want 1", perm, g.ID)
+		}
+		// Equal sizes over budget: the "smallest" fallback must use the
+		// same tie-break.
+		if g := pickGrid(mk(perm...), 1); g.ID != 1 {
+			t.Errorf("order %v: smallest pick = %d, want 1", perm, g.ID)
+		}
+	}
+}
+
+func TestBalanceOverDeterministicAcrossListOrders(t *testing.T) {
+	// The ledger's owned lists are event-ordered; the recompute path
+	// walks Grids(level) in ID order. With equal-size grids everywhere
+	// (maximal tie pressure) both traversal orders must yield the same
+	// final box→owner assignment — the ID tie-break makes migration
+	// sequences insensitive to list order.
+	build := func() *amr.Hierarchy {
+		h := amr.New(geom.UnitCube(8), 2, 1, 1, false, "q")
+		for x := 0; x < 8; x++ {
+			h.AddGrid(0, geom.BoxFromShape(geom.Index{x, 0, 0}, geom.Index{1, 8, 8}), 0, amr.NoGrid)
+		}
+		return h
+	}
+	assign := func(ctx *Context) map[geom.Box]int {
+		balanceOver(ctx, 0, []int{0, 1, 2, 3})
+		out := map[geom.Box]int{}
+		for _, g := range ctx.H.Grids(0) {
+			out[g.Box] = g.Owner
+		}
+		return out
+	}
+	sys := machine.WanPair(2, nil)
+	plain := assign(ctxFor(sys, build()))
+	ledgered := assign(ledgerCtx(sys, build()))
+	if len(plain) != len(ledgered) {
+		t.Fatalf("assignment sizes differ: %d vs %d", len(plain), len(ledgered))
+	}
+	for box, owner := range plain {
+		if ledgered[box] != owner {
+			t.Errorf("box %v: plain owner %d, ledger owner %d", box, owner, ledgered[box])
+		}
+	}
+}
+
+func TestLocalBalanceLedgerMatchesRecompute(t *testing.T) {
+	// Full local-phase parity: identical hierarchies balanced with and
+	// without a ledger must produce identical migrations, and the
+	// ledger must stay exact through them.
+	build := func() *amr.Hierarchy {
+		return slabHierarchy(8, []int{1, 1, 1, 1, 2, 2}, []int{0, 0, 0, 0, 2, 2})
+	}
+	sys := machine.WanPair(2, nil)
+	plainCtx := ctxFor(sys, build())
+	ledCtx := ledgerCtx(sys, build())
+	plain := DistributedDLB{}.LocalBalance(plainCtx, 0)
+	led := DistributedDLB{}.LocalBalance(ledCtx, 0)
+	if len(plain) != len(led) {
+		t.Fatalf("migration counts differ: %d vs %d", len(plain), len(led))
+	}
+	for i := range plain {
+		if plain[i] != led[i] {
+			t.Errorf("migration %d differs: %+v vs %+v", i, plain[i], led[i])
+		}
+	}
+	if err := ledCtx.Ledger.Verify(); err != nil {
+		t.Errorf("ledger diverged after local balance: %v", err)
+	}
+}
+
+func TestGlobalBalanceLedgerMatchesRecompute(t *testing.T) {
+	build := func() *amr.Hierarchy {
+		return slabHierarchy(8, []int{2, 2, 2, 2}, []int{0, 1, 0, 2})
+	}
+	sys := machine.WanPair(2, nil)
+	run := func(ctx *Context) GlobalDecision {
+		recordCellLoads(ctx)
+		ctx.Load.SetIntervalTime(100)
+		return DistributedDLB{}.GlobalBalance(ctx)
+	}
+	plain := run(ctxFor(sys, build()))
+	ledCtx := ledgerCtx(sys, build())
+	led := run(ledCtx)
+	if plain.Evaluated != led.Evaluated || plain.Invoked != led.Invoked {
+		t.Fatalf("decisions differ: %+v vs %+v", plain, led)
+	}
+	if plain.Gain != led.Gain || plain.Cost != led.Cost {
+		t.Errorf("gain/cost differ: (%v,%v) vs (%v,%v)", plain.Gain, plain.Cost, led.Gain, led.Cost)
+	}
+	if len(plain.Migrations) != len(led.Migrations) {
+		t.Fatalf("migration counts differ: %d vs %d", len(plain.Migrations), len(led.Migrations))
+	}
+	for i := range plain.Migrations {
+		if plain.Migrations[i] != led.Migrations[i] {
+			t.Errorf("migration %d differs: %+v vs %+v", i, plain.Migrations[i], led.Migrations[i])
+		}
+	}
+	if err := ledCtx.Ledger.Verify(); err != nil {
+		t.Errorf("ledger diverged after global balance: %v", err)
+	}
+}
+
+func TestGlobalBalanceSingleGroupChargedAsRedistribution(t *testing.T) {
+	// One group: the level-0 rebalancing is still the scheme's global
+	// phase. Evaluated must mirror Invoked so the engine books the
+	// moves under Redistribution and measures δ; Gain/Cost stay zero
+	// because no estimate was needed.
+	sys := machine.Origin2000("ANL", 4)
+	h := slabHierarchy(8, []int{2, 2, 2, 2}, []int{0, 0, 0, 0})
+	ctx := ctxFor(sys, h)
+	recordCellLoads(ctx)
+	d := DistributedDLB{}.GlobalBalance(ctx)
+	if !d.Invoked {
+		t.Fatal("imbalanced single group must redistribute")
+	}
+	if !d.Evaluated {
+		t.Error("single-group redistribution must count as evaluated (engine charges δ)")
+	}
+	if d.Gain != 0 || d.Cost != 0 {
+		t.Errorf("single group has no gain/cost estimate: %v / %v", d.Gain, d.Cost)
+	}
+	// A balanced single group must neither evaluate nor invoke.
+	h2 := slabHierarchy(8, []int{2, 2, 2, 2}, []int{0, 1, 2, 3})
+	ctx2 := ctxFor(sys, h2)
+	recordCellLoads(ctx2)
+	d2 := DistributedDLB{}.GlobalBalance(ctx2)
+	if d2.Evaluated || d2.Invoked {
+		t.Errorf("balanced single group acted: %+v", d2)
+	}
+}
+
+func TestImbalanceEdgeCases(t *testing.T) {
+	if got := Imbalance([]float64{7}); got != 0 {
+		t.Errorf("single element: %v", got)
+	}
+	if got := Imbalance([]float64{4, 4, 4}); got != 0 {
+		t.Errorf("all equal: %v", got)
+	}
+	if got := Imbalance([]float64{0, 10}); got != 1 {
+		t.Errorf("idle processor should read as full imbalance: %v", got)
+	}
+	for _, in := range [][]float64{nil, {0}, {1}, {3, 1, 2}, {0, 0, 5}} {
+		if got := Imbalance(in); got < 0 || got > 1 {
+			t.Errorf("Imbalance(%v) = %v escapes [0,1]", in, got)
+		}
+	}
+}

@@ -96,7 +96,7 @@ func sfcPartition(ctx *Context, level int, procs []int) []Migration {
 		target := procs[pi]
 		if g.Owner != target {
 			out = append(out, Migration{Grid: g.ID, From: g.Owner, To: target, Bytes: g.Bytes(numFields)})
-			g.Owner = target
+			ctx.H.SetOwner(g, target)
 		}
 		assigned += float64(g.NumCells())
 	}

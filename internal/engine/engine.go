@@ -108,6 +108,13 @@ type Options struct {
 	// Retry bounds the probe retry/backoff loop of the global phase
 	// (zero value = netsim defaults).
 	Retry netsim.RetryPolicy
+	// LedgerCheck enables the load-ledger debug oracle: after every
+	// hierarchy mutation event the incremental aggregates are verified
+	// against a full recomputation (panic on divergence), and the
+	// recorder's group aggregates are checked at each global-balance
+	// decision. Turns O(changes) bookkeeping into O(grids) per event —
+	// for tests and -ledgercheck runs only.
+	LedgerCheck bool
 }
 
 func (o *Options) setDefaults() {
@@ -160,10 +167,11 @@ type Runner struct {
 	driver workload.Driver
 	opt    Options
 
-	h     *amr.Hierarchy
-	clock *vclock.Clock
-	rec   *load.Recorder
-	ctx   *dlb.Context
+	h      *amr.Hierarchy
+	clock  *vclock.Clock
+	rec    *load.Recorder
+	ledger *load.Ledger
+	ctx    *dlb.Context
 
 	kernels      []solver.Kernel
 	flopsPerCell float64
@@ -196,6 +204,11 @@ type Runner struct {
 	catchupEvals   int
 	recoveries     int
 	recoveryTime   float64
+
+	// Ledger bookkeeping: events applied by ledgers that were since
+	// replaced (recovery), and full rebuilds performed.
+	ledgerEvents   uint64
+	ledgerRebuilds int
 }
 
 // New prepares a runner. The hierarchy is initialised with a level-0
@@ -226,9 +239,18 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 	} else {
 		r.h = amr.New(geom.UnitCube(n0), r.refFactor, opt.MaxLevel, opt.NGhost, opt.WithData, driver.Fields()...)
 	}
+	// The ledger attaches before the initial decomposition so every
+	// grid creation flows through it as an event; on Resume the
+	// constructor's full build (parallel over the pool) picks up the
+	// checkpointed hierarchy instead.
+	r.ledger = load.NewLedger(sys, r.h, opt.Pool)
+	r.ledger.SetSelfCheck(opt.LedgerCheck)
+	r.h.SetListener(r.ledger)
 	r.rec = load.NewRecorder(sys.NumProcs(), opt.MaxLevel)
+	r.rec.BindGroups(sys)
 	r.ctx = &dlb.Context{
 		Sys: sys, H: r.h, Load: r.rec,
+		Ledger:       r.ledger,
 		Now:          r.clock.Now,
 		Gamma:        opt.Gamma,
 		ImbalanceEps: opt.ImbalanceEps,
@@ -287,6 +309,9 @@ func (r *Runner) Hierarchy() *amr.Hierarchy { return r.h }
 
 // Clock exposes the virtual clock.
 func (r *Runner) Clock() *vclock.Clock { return r.clock }
+
+// Ledger exposes the incremental load ledger (for tools and tests).
+func (r *Runner) Ledger() *load.Ledger { return r.ledger }
 
 // initLevel0 decomposes the domain into boxes and deals them to
 // processors proportionally to performance, in spatial order.
@@ -434,7 +459,7 @@ func (r *Runner) takeCheckpoint(step int) {
 	r.ckpt = buf.Bytes()
 	r.ckptStep = step
 	r.ckptT = r.t
-	cells := totalCells(r.h)
+	cells := r.ledger.TotalCells()
 	r.clock.AddUniform(vclock.Recovery, float64(cells)*checkpointFlopsPerCell/r.sys.FlopsPerSecond)
 	r.ckptClock = r.clock.Now()
 	r.opt.Trace.Add(trace.Recovery, 0, r.ckptClock,
@@ -457,8 +482,18 @@ func (r *Runner) recoverFromCheckpoint() int {
 	r.h = h
 	r.ctx.H = h
 	r.t = r.ckptT
+	// The restored hierarchy needs a fresh ledger — the one unavoidable
+	// full recompute besides the initial build, parallelised over the
+	// pool — attached before repartition so the ownership reshuffle
+	// flows through it as events.
+	r.ledgerEvents += r.ledger.EventCount()
+	r.ledger = load.NewLedger(r.sys, h, r.opt.Pool)
+	r.ledger.SetSelfCheck(r.opt.LedgerCheck)
+	h.SetListener(r.ledger)
+	r.ctx.Ledger = r.ledger
+	r.ledgerRebuilds++
 	r.repartition()
-	restore := float64(totalCells(h)) * checkpointFlopsPerCell / r.sys.FlopsPerSecond
+	restore := float64(r.ledger.TotalCells()) * checkpointFlopsPerCell / r.sys.FlopsPerSecond
 	r.clock.AddUniform(vclock.Recovery, restore)
 	r.recoveries++
 	r.recoveryTime += lost + restore
@@ -497,13 +532,13 @@ func (r *Runner) repartition() {
 			idx++
 			cum += r.sys.EffectivePerf(alive[idx])
 		}
-		g.Owner = alive[idx]
+		r.h.SetOwner(g, alive[idx])
 		assigned += float64(g.NumCells())
 	}
 	for l := 1; l <= r.h.MaxLevel; l++ {
 		for _, g := range r.h.Grids(l) {
 			if p := r.h.Grid(g.Parent); p != nil {
-				g.Owner = p.Owner
+				r.h.SetOwner(g, p.Owner)
 			}
 		}
 	}
@@ -606,12 +641,13 @@ func (r *Runner) advanceLevel(level int) {
 		}
 	}
 
-	// Virtual compute time and workload snapshot.
+	// Virtual compute time and workload snapshot: the per-processor
+	// cell counts come from the ledger in O(procs) instead of a walk
+	// over the level's grids.
 	perProc := make([]float64, r.sys.NumProcs())
 	work := make([]float64, r.sys.NumProcs())
-	for _, g := range grids {
-		w := float64(g.NumCells()) * r.flopsPerCell
-		work[g.Owner] += w
+	for p := range work {
+		work[p] = r.ledger.ProcCells(level, p) * r.flopsPerCell
 	}
 	if level == 0 {
 		r.particleWork(work)
@@ -631,7 +667,7 @@ func (r *Runner) advanceLevel(level int) {
 	r.clock.AddPhase(vclock.Compute, perProc)
 	r.rec.RecordIteration(level)
 
-	if c := totalCells(r.h); c > r.maxCells {
+	if c := r.ledger.TotalCells(); c > r.maxCells {
 		r.maxCells = c
 	}
 }
@@ -782,12 +818,20 @@ func (r *Runner) globalBalance() {
 	r.rec.SetIntervalTime(r.clock.Now() - r.intervalStart)
 	if r.opt.History != nil {
 		r.opt.History.Record("step-time", r.clock.Now()-r.intervalStart)
-		r.opt.History.Record("cells", float64(totalCells(r.h)))
+		r.opt.History.Record("cells", float64(r.ledger.TotalCells()))
 		r.opt.History.Record("imbalance-ratio", r.rec.ImbalanceRatio(r.sys))
 		r.opt.History.Record("remote-comm", r.clock.PhaseTotal(vclock.RemoteComm))
 	}
 	if r.opt.Faults != nil {
 		r.noteQuarantine()
+	}
+	if r.opt.LedgerCheck {
+		// Oracle for the incremental Eq. 2 aggregates: the recorder's
+		// group sums must match a recompute over all processors right
+		// before the decision reads them.
+		if err := r.rec.VerifyGroups(r.sys); err != nil {
+			panic("engine: recorder group aggregates diverged: " + err.Error())
+		}
 	}
 	forced := r.ctx.ForceEval
 	d := r.opt.Balancer.GlobalBalance(r.ctx)
@@ -882,17 +926,9 @@ func (r *Runner) regrid(initial bool) {
 	}
 	// Charge the regrid cost: flag evaluation, clustering and
 	// data-structure rebuild scale with the cell count.
-	cells := totalCells(r.h)
+	cells := r.ledger.TotalCells()
 	r.clock.AddUniform(vclock.Regrid, float64(cells)*regridFlopsPerCell/r.sys.FlopsPerSecond)
 	r.opt.Trace.Add(trace.Regrid, 0, r.clock.Now(), fmt.Sprintf("cells=%d", cells))
-}
-
-func totalCells(h *amr.Hierarchy) int64 {
-	var n int64
-	for l := 0; l <= h.MaxLevel; l++ {
-		n += h.TotalCells(l)
-	}
-	return n
 }
 
 // noteQuarantine tracks group reachability across level-0 boundaries:
@@ -934,6 +970,8 @@ func (r *Runner) result() *metrics.Result {
 		GlobalRedists:   r.globalRedists,
 		LocalMigrations: r.localMigs,
 		MaxCells:        r.maxCells,
+		LedgerEvents:    r.ledgerEvents + r.ledger.EventCount(),
+		LedgerRebuilds:  r.ledgerRebuilds + r.ledger.Rebuilds(),
 	}
 	if r.opt.Faults != nil {
 		res.FaultEvents = r.opt.Faults.NumEvents()

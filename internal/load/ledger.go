@@ -1,0 +1,457 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/solver"
+)
+
+// Ledger is the incrementally maintained load table the DLB decision
+// path reads. The paper's argument (Eqs. 1–4) needs the balancer's
+// bookkeeping overhead δ to stay small relative to the gain, yet a
+// naive implementation recomputes every aggregate — per-processor
+// level loads, the Eq. 2/3 group works, subtree workloads, total cell
+// counts — by walking the whole hierarchy on every evaluation, an
+// O(grids) cost per decision. The ledger instead subscribes to the
+// hierarchy's mutation events (amr.Listener) and keeps every
+// aggregate current in O(depth) per grid event, so each decision-path
+// read is O(1) or O(procs) regardless of hierarchy size.
+//
+// Maintained state:
+//
+//   - procCells[level][proc]: cells owned per processor per level
+//     (the w^i_proc table in cell units; the engine scales it by the
+//     kernel flop weight when feeding the Recorder).
+//   - groupCells[level][group]: the Eq. 2 aggregate W^i_group in cell
+//     units.
+//   - levelCells[level] and the all-level total.
+//   - sub[id]: the iteration-weighted subtree workload of every grid
+//     (cells × RefFactor^level summed over the grid and its attached
+//     descendants — Eq. 3's N^i_iter weighting for fully subcycled
+//     levels).
+//   - groupSubtree[group]: Σ sub over the group's level-0 grids,
+//     attributed by the level-0 owner's group (the donor workload of
+//     the global phase's boundary shift).
+//   - groupL0Cells[group]: level-0 cells per group (the W^0 used to
+//     size the transferred bytes).
+//   - owned[level][proc]: the grids themselves, for the local phase's
+//     donor scans.
+//
+// All cell quantities are integers represented in float64, far below
+// 2^53, so incremental adds and subtracts are exact and Verify can
+// demand bit equality with a full recomputation.
+type Ledger struct {
+	sys  *machine.System
+	h    *amr.Hierarchy
+	pool *solver.Pool
+
+	procCells  [][]float64 // [level][proc]
+	groupCells [][]float64 // [level][group]
+	levelCells []int64     // [level]
+	total      int64
+
+	sub          map[amr.GridID]float64
+	groupSubtree []float64 // [group]
+	groupL0Cells []int64   // [group]
+
+	owned []map[int][]*amr.Grid // [level][proc]
+
+	events   uint64
+	rebuilds int
+
+	// selfCheck makes every event run the full recompute oracle and
+	// panic on divergence — the -ledgercheck debug mode.
+	selfCheck bool
+}
+
+// NewLedger builds a ledger for the hierarchy's current contents and
+// returns it. The caller must install it with h.SetListener to keep
+// it current; pool (optional) parallelises this full build and any
+// later Rebuild across host cores.
+func NewLedger(sys *machine.System, h *amr.Hierarchy, pool *solver.Pool) *Ledger {
+	l := &Ledger{sys: sys, h: h, pool: pool}
+	l.Rebuild()
+	l.rebuilds = 0 // the initial build is not a "re"-build
+	return l
+}
+
+// SetSelfCheck toggles oracle mode: after every mutation event the
+// whole ledger is verified against a from-scratch recomputation and
+// any divergence panics with the failing aggregate. Meant for tests
+// and the -ledgercheck flag; it turns O(changes) bookkeeping back
+// into O(grids) per event.
+func (l *Ledger) SetSelfCheck(on bool) { l.selfCheck = on }
+
+// EventCount returns the number of mutation events applied since the
+// last rebuild — the "O(changes)" side of the decision-path cost.
+func (l *Ledger) EventCount() uint64 { return l.events }
+
+// Rebuilds returns how many full recomputations ran (initial build
+// excluded): one per checkpoint recovery in a faulty run.
+func (l *Ledger) Rebuilds() int { return l.rebuilds }
+
+// Rebuild recomputes every aggregate from the hierarchy, in parallel
+// over the pool when one was provided. The engine calls it only for
+// the unavoidable full recomputes: attaching to a freshly restored
+// checkpoint hierarchy.
+func (l *Ledger) Rebuild() {
+	nproc := l.sys.NumProcs()
+	ngroup := l.sys.NumGroups()
+	nlevel := l.h.MaxLevel + 1
+
+	l.procCells = make([][]float64, nlevel)
+	l.groupCells = make([][]float64, nlevel)
+	l.levelCells = make([]int64, nlevel)
+	l.owned = make([]map[int][]*amr.Grid, nlevel)
+	l.total = 0
+	l.sub = make(map[amr.GridID]float64)
+	l.groupSubtree = make([]float64, ngroup)
+	l.groupL0Cells = make([]int64, ngroup)
+	l.events = 0
+	l.rebuilds++
+
+	for lev := 0; lev < nlevel; lev++ {
+		l.procCells[lev] = make([]float64, nproc)
+		l.groupCells[lev] = make([]float64, ngroup)
+		l.owned[lev] = make(map[int][]*amr.Grid)
+		grids := l.h.Grids(lev)
+		l.parallelProcCells(grids, l.procCells[lev])
+		for p := 0; p < nproc; p++ {
+			l.groupCells[lev][l.sys.GroupOf(p)] += l.procCells[lev][p]
+		}
+		for _, g := range grids {
+			c := g.NumCells()
+			l.levelCells[lev] += c
+			l.total += c
+			l.owned[lev][g.Owner] = append(l.owned[lev][g.Owner], g)
+			l.sub[g.ID] = float64(c) * l.iterWeight(lev)
+		}
+	}
+	// Propagate subtree work bottom-up: when level lev is folded into
+	// lev-1, every sub at lev is already complete.
+	for lev := nlevel - 1; lev >= 1; lev-- {
+		for _, g := range l.h.Grids(lev) {
+			if g.Parent != amr.NoGrid {
+				l.sub[g.Parent] += l.sub[g.ID]
+			}
+		}
+	}
+	for _, g := range l.h.Grids(0) {
+		l.groupSubtree[l.sys.GroupOf(g.Owner)] += l.sub[g.ID]
+		l.groupL0Cells[l.sys.GroupOf(g.Owner)] += g.NumCells()
+	}
+}
+
+// parallelProcCells fills dst[proc] with the summed cells of each
+// processor's grids, fanning the grid list out over the pool.
+func (l *Ledger) parallelProcCells(grids []*amr.Grid, dst []float64) {
+	workers := 1
+	if l.pool != nil {
+		workers = l.pool.Workers()
+	}
+	if workers <= 1 || len(grids) < 2*workers {
+		for _, g := range grids {
+			dst[g.Owner] += float64(g.NumCells())
+		}
+		return
+	}
+	partial := make([][]float64, workers)
+	chunk := (len(grids) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(grids) {
+			hi = len(grids)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := make([]float64, len(dst))
+			for _, g := range grids[lo:hi] {
+				acc[g.Owner] += float64(g.NumCells())
+			}
+			partial[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Merge in worker order: integer-valued sums, so order only
+	// matters for determinism of the code path, not the result.
+	for _, acc := range partial {
+		for p, v := range acc {
+			dst[p] += v
+		}
+	}
+}
+
+// iterWeight returns RefFactor^level: how many times a level's cells
+// advance per level-0 step under full subcycling.
+func (l *Ledger) iterWeight(level int) float64 {
+	w := 1.0
+	for i := 0; i < level; i++ {
+		w *= float64(l.h.RefFactor)
+	}
+	return w
+}
+
+// --- amr.Listener implementation -----------------------------------
+
+// GridAdded implements amr.Listener.
+func (l *Ledger) GridAdded(h *amr.Hierarchy, g *amr.Grid) {
+	cells := float64(g.NumCells())
+	grp := l.sys.GroupOf(g.Owner)
+	l.procCells[g.Level][g.Owner] += cells
+	l.groupCells[g.Level][grp] += cells
+	l.levelCells[g.Level] += g.NumCells()
+	l.total += g.NumCells()
+	l.owned[g.Level][g.Owner] = append(l.owned[g.Level][g.Owner], g)
+
+	own := cells * l.iterWeight(g.Level)
+	l.sub[g.ID] = own
+	if g.Level == 0 {
+		l.groupSubtree[grp] += own
+		l.groupL0Cells[grp] += g.NumCells()
+	} else {
+		l.addToChain(g.Parent, own)
+	}
+	l.event()
+}
+
+// GridRemoved implements amr.Listener. The grid's children are
+// already gone (RemoveGrid's invariant; ClearLevelsFrom removes
+// deepest level first), so sub[g] holds only the grid's own work; its
+// ancestors are still present for the chain walk.
+func (l *Ledger) GridRemoved(h *amr.Hierarchy, g *amr.Grid) {
+	cells := float64(g.NumCells())
+	grp := l.sys.GroupOf(g.Owner)
+	l.procCells[g.Level][g.Owner] -= cells
+	l.groupCells[g.Level][grp] -= cells
+	l.levelCells[g.Level] -= g.NumCells()
+	l.total -= g.NumCells()
+	l.disown(g)
+
+	w := l.sub[g.ID]
+	if g.Level == 0 {
+		l.groupSubtree[grp] -= w
+		l.groupL0Cells[grp] -= g.NumCells()
+	} else {
+		l.addToChain(g.Parent, -w)
+	}
+	delete(l.sub, g.ID)
+	l.event()
+}
+
+// OwnerChanged implements amr.Listener.
+func (l *Ledger) OwnerChanged(h *amr.Hierarchy, g *amr.Grid, oldOwner int) {
+	cells := float64(g.NumCells())
+	oldGrp, newGrp := l.sys.GroupOf(oldOwner), l.sys.GroupOf(g.Owner)
+	l.procCells[g.Level][oldOwner] -= cells
+	l.procCells[g.Level][g.Owner] += cells
+	l.groupCells[g.Level][oldGrp] -= cells
+	l.groupCells[g.Level][newGrp] += cells
+	lst := l.owned[g.Level][oldOwner]
+	for i, x := range lst {
+		if x.ID == g.ID {
+			l.owned[g.Level][oldOwner] = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	l.owned[g.Level][g.Owner] = append(l.owned[g.Level][g.Owner], g)
+	if g.Level == 0 && oldGrp != newGrp {
+		// The whole subtree's workload follows the level-0 owner's
+		// group (children live in their root's group under the
+		// distributed scheme; the aggregate is defined by the root).
+		l.groupSubtree[oldGrp] -= l.sub[g.ID]
+		l.groupSubtree[newGrp] += l.sub[g.ID]
+	}
+	if g.Level == 0 {
+		l.groupL0Cells[oldGrp] -= g.NumCells()
+		l.groupL0Cells[newGrp] += g.NumCells()
+	}
+	l.event()
+}
+
+// ParentChanged implements amr.Listener: the grid's subtree work
+// moves from the old ancestor chain to the new one (either may be
+// detached mid-split).
+func (l *Ledger) ParentChanged(h *amr.Hierarchy, g *amr.Grid, oldParent amr.GridID) {
+	w := l.sub[g.ID]
+	if oldParent != amr.NoGrid {
+		l.addToChain(oldParent, -w)
+	}
+	if g.Parent != amr.NoGrid {
+		l.addToChain(g.Parent, w)
+	}
+	l.event()
+}
+
+// addToChain adds w to every ancestor's subtree sum starting at id,
+// and to the owning group's aggregate when the chain reaches a
+// level-0 root. A chain ending at a detached grid (mid-split) gets no
+// group attribution; the re-attach event restores it.
+func (l *Ledger) addToChain(id amr.GridID, w float64) {
+	for id != amr.NoGrid {
+		p := l.h.Grid(id)
+		if p == nil {
+			return
+		}
+		l.sub[p.ID] += w
+		if p.Level == 0 {
+			l.groupSubtree[l.sys.GroupOf(p.Owner)] += w
+			return
+		}
+		id = p.Parent
+	}
+}
+
+// disown removes g from its owner's per-level grid list (order
+// preserving, so scans stay deterministic).
+func (l *Ledger) disown(g *amr.Grid) {
+	lst := l.owned[g.Level][g.Owner]
+	for i, x := range lst {
+		if x.ID == g.ID {
+			l.owned[g.Level][g.Owner] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+func (l *Ledger) event() {
+	l.events++
+	if l.selfCheck {
+		if err := l.Verify(); err != nil {
+			panic(fmt.Sprintf("load.Ledger self-check failed after event %d: %v", l.events, err))
+		}
+	}
+}
+
+// --- decision-path reads -------------------------------------------
+
+// ProcCells returns the cells processor proc owns at the level.
+func (l *Ledger) ProcCells(level, proc int) float64 { return l.procCells[level][proc] }
+
+// LevelWork returns every processor's cell count at the level (a
+// fresh slice, O(procs) — the ledger-backed replacement for walking
+// the level's grids).
+func (l *Ledger) LevelWork(level int) []float64 {
+	out := make([]float64, len(l.procCells[level]))
+	copy(out, l.procCells[level])
+	return out
+}
+
+// GroupLevelCells returns W^i_group (Eq. 2) in cell units.
+func (l *Ledger) GroupLevelCells(level, group int) float64 { return l.groupCells[level][group] }
+
+// LevelCells returns the cell count of one level.
+func (l *Ledger) LevelCells(level int) int64 { return l.levelCells[level] }
+
+// TotalCells returns the all-level cell count.
+func (l *Ledger) TotalCells() int64 { return l.total }
+
+// SubtreeWork returns the iteration-weighted workload of the grid and
+// its descendants (0 for unknown IDs).
+func (l *Ledger) SubtreeWork(id amr.GridID) float64 { return l.sub[id] }
+
+// GroupSubtreeWork returns the summed subtree workload of the group's
+// level-0 grids — the donor workload of the global phase.
+func (l *Ledger) GroupSubtreeWork(group int) float64 { return l.groupSubtree[group] }
+
+// GroupLevel0Cells returns the group's level-0 cell count.
+func (l *Ledger) GroupLevel0Cells(group int) int64 { return l.groupL0Cells[group] }
+
+// Owned returns the grids processor proc holds at the level. The
+// slice is the ledger's own state: callers must not mutate it and
+// should copy before triggering migrations.
+func (l *Ledger) Owned(level, proc int) []*amr.Grid { return l.owned[level][proc] }
+
+// --- recompute oracle ----------------------------------------------
+
+// Verify recomputes every aggregate from the hierarchy and compares
+// it against the incrementally maintained state, returning a
+// descriptive error on the first divergence. All quantities are
+// integer-valued, so the comparison is exact.
+func (l *Ledger) Verify() error {
+	want := &Ledger{sys: l.sys, h: l.h}
+	want.Rebuild()
+	for lev := range want.procCells {
+		for p := range want.procCells[lev] {
+			if l.procCells[lev][p] != want.procCells[lev][p] {
+				return fmt.Errorf("procCells[%d][%d]: ledger %v, recompute %v",
+					lev, p, l.procCells[lev][p], want.procCells[lev][p])
+			}
+		}
+		for g := range want.groupCells[lev] {
+			if l.groupCells[lev][g] != want.groupCells[lev][g] {
+				return fmt.Errorf("groupCells[%d][%d]: ledger %v, recompute %v",
+					lev, g, l.groupCells[lev][g], want.groupCells[lev][g])
+			}
+		}
+		if l.levelCells[lev] != want.levelCells[lev] {
+			return fmt.Errorf("levelCells[%d]: ledger %d, recompute %d",
+				lev, l.levelCells[lev], want.levelCells[lev])
+		}
+	}
+	if l.total != want.total {
+		return fmt.Errorf("total cells: ledger %d, recompute %d", l.total, want.total)
+	}
+	if len(l.sub) != len(want.sub) {
+		return fmt.Errorf("subtree table size: ledger %d, recompute %d", len(l.sub), len(want.sub))
+	}
+	for id, w := range want.sub {
+		if lw, ok := l.sub[id]; !ok || lw != w {
+			return fmt.Errorf("subtree[%d]: ledger %v, recompute %v", id, l.sub[id], w)
+		}
+	}
+	for g := range want.groupSubtree {
+		if l.groupSubtree[g] != want.groupSubtree[g] {
+			return fmt.Errorf("groupSubtree[%d]: ledger %v, recompute %v",
+				g, l.groupSubtree[g], want.groupSubtree[g])
+		}
+		if l.groupL0Cells[g] != want.groupL0Cells[g] {
+			return fmt.Errorf("groupL0Cells[%d]: ledger %d, recompute %d",
+				g, l.groupL0Cells[g], want.groupL0Cells[g])
+		}
+	}
+	for lev := range want.owned {
+		for p := 0; p < l.sys.NumProcs(); p++ {
+			got, exp := idSet(l.owned[lev][p]), idSet(want.owned[lev][p])
+			if len(got) != len(exp) {
+				return fmt.Errorf("owned[%d][%d]: ledger holds %d grids, recompute %d",
+					lev, p, len(got), len(exp))
+			}
+			for i := range got {
+				if got[i] != exp[i] {
+					return fmt.Errorf("owned[%d][%d]: ledger %v, recompute %v", lev, p, got, exp)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func idSet(grids []*amr.Grid) []amr.GridID {
+	out := make([]amr.GridID, len(grids))
+	for i, g := range grids {
+		out[i] = g.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxProcCells returns the largest per-processor cell count at a
+// level — a cheap sanity probe used by tests.
+func (l *Ledger) MaxProcCells(level int) float64 {
+	m := math.Inf(-1)
+	for _, v := range l.procCells[level] {
+		m = math.Max(m, v)
+	}
+	return m
+}

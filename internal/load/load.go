@@ -39,6 +39,15 @@ type Recorder struct {
 	// delta is δ: the recorded computational overhead of the previous
 	// global redistribution.
 	delta float64
+
+	// Incremental Eq. 2 aggregates, maintained when BindGroups has
+	// attached a processor→group map: gw[group][level] mirrors
+	// Σ_{proc∈group} w[proc][level] and is updated in O(1) per
+	// RecordLevelWork call, so GroupWork/GroupWorks/Gain/
+	// ImbalanceRatio read O(groups·levels) state instead of summing
+	// over every processor on each decision.
+	groupOf []int
+	gw      [][]float64
 }
 
 // NewRecorder returns a recorder for nproc processors and levels
@@ -60,6 +69,36 @@ func (r *Recorder) ResetInterval() {
 		r.w[i] = make([]float64, r.maxLevel+1)
 	}
 	r.nIter = make([]int, r.maxLevel+1)
+	for g := range r.gw {
+		for l := range r.gw[g] {
+			r.gw[g][l] = 0
+		}
+	}
+}
+
+// BindGroups attaches the system's processor→group map so the Eq. 2
+// group aggregates are maintained incrementally as level work is
+// recorded. Unbound recorders fall back to recomputing group sums
+// over all processors on every query (the original behaviour, kept
+// as the verification oracle).
+func (r *Recorder) BindGroups(sys *machine.System) {
+	if sys.NumProcs() != r.nproc {
+		panic("load.BindGroups: system size does not match recorder")
+	}
+	r.groupOf = make([]int, r.nproc)
+	for p := 0; p < r.nproc; p++ {
+		r.groupOf[p] = sys.GroupOf(p)
+	}
+	r.gw = make([][]float64, sys.NumGroups())
+	for g := range r.gw {
+		r.gw[g] = make([]float64, r.maxLevel+1)
+	}
+	// Fold in whatever the current interval already recorded.
+	for p := 0; p < r.nproc; p++ {
+		for l := 0; l <= r.maxLevel; l++ {
+			r.gw[r.groupOf[p]][l] += r.w[p][l]
+		}
+	}
 }
 
 // RecordLevelWork stores the instantaneous per-level workload for a
@@ -70,6 +109,9 @@ func (r *Recorder) ResetInterval() {
 func (r *Recorder) RecordLevelWork(proc, level int, work float64) {
 	if work < 0 {
 		panic("load.RecordLevelWork: negative work")
+	}
+	if r.gw != nil {
+		r.gw[r.groupOf[proc]][level] += work - r.w[proc][level]
 	}
 	r.w[proc][level] = work
 }
@@ -133,8 +175,19 @@ func (r *Recorder) ProcWork(proc int) float64 {
 	return sum
 }
 
-// LevelGroupWork returns W^i_group(t) (Eq. 2) for the given group.
+// LevelGroupWork returns W^i_group(t) (Eq. 2) for the given group:
+// the incrementally maintained aggregate when groups are bound, else
+// a recomputation over the group's processors.
 func (r *Recorder) LevelGroupWork(sys *machine.System, group, level int) float64 {
+	if r.gw != nil {
+		return r.gw[group][level]
+	}
+	return r.levelGroupWorkRecompute(sys, group, level)
+}
+
+// levelGroupWorkRecompute is the original O(procs) Eq. 2 sum, kept as
+// the oracle VerifyGroups asserts the incremental aggregates against.
+func (r *Recorder) levelGroupWorkRecompute(sys *machine.System, group, level int) float64 {
 	var sum float64
 	for _, p := range sys.ProcsInGroup(group) {
 		sum += r.w[p][level]
@@ -151,6 +204,44 @@ func (r *Recorder) GroupWork(sys *machine.System, group int) float64 {
 		sum += r.LevelGroupWork(sys, group, l) * float64(max(r.nIter[l], 1))
 	}
 	return sum
+}
+
+// GroupWorkRecompute is GroupWork evaluated through the recompute
+// oracle regardless of binding (tests and benchmarks).
+func (r *Recorder) GroupWorkRecompute(sys *machine.System, group int) float64 {
+	var sum float64
+	for l := 0; l <= r.maxLevel; l++ {
+		sum += r.levelGroupWorkRecompute(sys, group, l) * float64(max(r.nIter[l], 1))
+	}
+	return sum
+}
+
+// VerifyGroups compares the incremental Eq. 2 aggregates against the
+// recompute oracle. Incremental maintenance replays additions in a
+// different association order than a direct sum, so equality is
+// checked to a tight relative tolerance rather than bit-exactly.
+func (r *Recorder) VerifyGroups(sys *machine.System) error {
+	if r.gw == nil {
+		return nil
+	}
+	for g := 0; g < sys.NumGroups(); g++ {
+		for l := 0; l <= r.maxLevel; l++ {
+			inc := r.gw[g][l]
+			ora := r.levelGroupWorkRecompute(sys, g, l)
+			diff := inc - ora
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := ora
+			if scale < 1 {
+				scale = 1
+			}
+			if diff > 1e-9*scale {
+				return fmt.Errorf("group %d level %d: incremental %v, recompute %v", g, l, inc, ora)
+			}
+		}
+	}
+	return nil
 }
 
 // GroupWorks returns W_group for every group.

@@ -33,6 +33,11 @@ type Result struct {
 	GlobalEvals, GlobalRedists, LocalMigrations int
 	// MaxCells is the peak total cell count over all levels.
 	MaxCells int64
+	// LedgerEvents counts hierarchy mutation events absorbed by the
+	// incremental load ledger; LedgerRebuilds counts full O(grids)
+	// rebuilds (initial build plus one per checkpoint recovery).
+	LedgerEvents   uint64
+	LedgerRebuilds int
 
 	// Fault-tolerance outcome (all zero unless fault injection was
 	// enabled for the run).
