@@ -1,6 +1,7 @@
 package samrdlb
 
 import (
+	"bytes"
 	"testing"
 
 	"samrdlb/internal/amr"
@@ -350,6 +351,59 @@ func BenchmarkRefluxedStep(b *testing.B) {
 		})
 		r.Run()
 	}
+}
+
+// --- checkpoint serialisation: fresh buffer vs reused scratch ---
+//
+// The engine checkpoints the hierarchy every CheckpointInterval
+// level-0 steps (in memory for fault recovery, on disk for the durable
+// store). This pair shows what reusing one scratch buffer across
+// checkpoints saves over allocating a fresh bytes.Buffer each time.
+
+// benchCkptHierarchy builds the 256-grid level the checkpoint
+// benchmarks serialise.
+func benchCkptHierarchy() *amr.Hierarchy {
+	h := amr.New(geom.UnitCube(32), 2, 1, 1, false, "q")
+	boxes := geom.BoxList{h.Domain}.SplitEvenly(256)
+	for i, bx := range boxes {
+		h.AddGrid(0, bx, i%8, amr.NoGrid)
+	}
+	return h
+}
+
+// BenchmarkCheckpointFresh serialises through a new bytes.Buffer per
+// checkpoint — the engine's pre-reuse behaviour.
+func BenchmarkCheckpointFresh(b *testing.B) {
+	h := benchCkptHierarchy()
+	var blob []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := h.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		blob = buf.Bytes()
+	}
+	_ = blob
+}
+
+// BenchmarkCheckpointReuse is the engine's current path: one scratch
+// buffer reset per checkpoint, the blob copied into a reused slice.
+func BenchmarkCheckpointReuse(b *testing.B) {
+	h := benchCkptHierarchy()
+	var buf bytes.Buffer
+	var blob []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := h.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		blob = append(blob[:0], buf.Bytes()...)
+	}
+	_ = blob
 }
 
 // BenchmarkForecastRecord measures the NWS predictor-family update.

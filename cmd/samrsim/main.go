@@ -4,6 +4,11 @@
 // Usage:
 //
 //	samrsim -dataset ShockPool3D -system wan -scheme distributed -n 4 -steps 10
+//
+// With -ckpt-dir the engine writes a durable checkpoint generation
+// every -ckpt-interval level-0 steps; an interrupted run (crash, kill,
+// or -stop-after) restarts with -resume and produces the same result
+// as an uninterrupted one.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"samrdlb/internal/ckpt"
 	"samrdlb/internal/dlb"
 	"samrdlb/internal/engine"
 	"samrdlb/internal/fault"
@@ -43,6 +49,10 @@ func main() {
 		faultsIn = flag.String("faults", "", "fault script file (see internal/fault): enables fault injection")
 		faultSd  = flag.Int64("faultseed", 0, "fault schedule seed (0 = use -seed)")
 		ckptIval = flag.Int("ckpt-interval", 0, "level-0 steps between recovery checkpoints (0 = default 4)")
+		ckptDir  = flag.String("ckpt-dir", "", "durable checkpoint store directory: write an on-disk generation every checkpoint interval")
+		ckptKeep = flag.Int("ckpt-keep", 0, "on-disk generations to retain (0 = default 3)")
+		resume   = flag.Bool("resume", false, "resume from the newest usable generation in -ckpt-dir instead of starting fresh")
+		stopAftr = flag.Int("stop-after", -1, "exit with status 3 after this level-0 step completes (simulated crash, for resume testing)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		ledCheck = flag.Bool("ledgercheck", false, "verify the incremental load ledger against a full recomputation after every hierarchy mutation (slow; debug oracle)")
@@ -137,7 +147,7 @@ func main() {
 
 	tr := trace.New()
 	hist := metrics.NewHistory()
-	runner := engine.New(sys, driver, engine.Options{
+	opt := engine.Options{
 		Steps:              *steps,
 		Balancer:           bal,
 		Gamma:              *gamma,
@@ -148,8 +158,43 @@ func main() {
 		History:            hist,
 		Faults:             sched,
 		CheckpointInterval: *ckptIval,
+		CheckpointDir:      *ckptDir,
+		CheckpointKeep:     *ckptKeep,
 		LedgerCheck:        *ledCheck,
-	})
+	}
+	if *stopAftr >= 0 {
+		// The durable generation for this boundary (if due) is written
+		// before AfterStep fires, so exiting here models a crash whose
+		// latest checkpoint is already safely on disk.
+		stop := *stopAftr
+		opt.AfterStep = func(step int, _ *engine.Runner) {
+			if step >= stop {
+				fmt.Fprintf(os.Stderr, "interrupted after step %d (simulated crash)\n", step)
+				os.Exit(3)
+			}
+		}
+	}
+	var runner *engine.Runner
+	if *resume {
+		if *ckptDir == "" {
+			fmt.Fprintln(os.Stderr, "resume: -ckpt-dir is required")
+			os.Exit(2)
+		}
+		var report *ckpt.RestoreReport
+		var err error
+		runner, report, err = engine.Resume(sys, driver, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+		for _, sk := range report.Skipped {
+			fmt.Fprintf(os.Stderr, "resume: skipped generation %d (%s): %s\n", sk.Gen, sk.File, sk.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "resume: restored generation %d (step %d, t=%.4f)\n",
+			report.Gen, report.Step, report.SimTime)
+	} else {
+		runner = engine.New(sys, driver, opt)
+	}
 	res := runner.Run()
 
 	fmt.Printf("%s\n\n", res)
@@ -163,6 +208,9 @@ func main() {
 	fmt.Print(runner.Hierarchy().Summarize())
 	fmt.Printf("peak cells (all levels): %d, utilisation: %.2f\n", res.MaxCells, res.Utilisation)
 	fmt.Printf("load ledger: %d incremental events, %d full rebuilds\n", res.LedgerEvents, res.LedgerRebuilds)
+	if s := res.CheckpointSummary(); s != "" {
+		fmt.Println(s)
+	}
 	if res.Faulty() {
 		fmt.Printf("\nFault injection summary:\n%s", res.FaultSummary())
 	}

@@ -11,7 +11,7 @@ import (
 
 // encodeStream builds a checkpoint stream from raw header/grid records
 // so tests can craft corrupt inputs through the real encoding path.
-func encodeStream(t *testing.T, hdr checkpointHeader, grids ...checkpointGrid) []byte {
+func encodeStream(t testing.TB, hdr checkpointHeader, grids ...checkpointGrid) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
@@ -133,6 +133,51 @@ func TestLoadRejectsMisshapenData(t *testing.T) {
 	}
 }
 
+// TestLoadZeroLength: the degenerate corruption — an empty file —
+// errors cleanly.
+func TestLoadZeroLength(t *testing.T) {
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("zero-length stream must error")
+	}
+}
+
+// TestLoadFlippedByteMatrix sweeps single-byte flips across a real
+// Save stream — hitting the gob type section, the header, the grid
+// records, and the field data. Load must never panic; a flip that
+// happens to survive validation (e.g. inside an unconstrained float)
+// must still yield a hierarchy that re-saves cleanly.
+func TestLoadFlippedByteMatrix(t *testing.T) {
+	h := buildDataHierarchy(t, 4)
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	stride := len(full) / 2048
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(full); i += stride {
+		data := append([]byte(nil), full...)
+		data[i] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("flip at byte %d/%d panicked: %v", i, len(full), r)
+				}
+			}()
+			h2, err := Load(bytes.NewReader(data))
+			if err != nil {
+				return
+			}
+			var rt bytes.Buffer
+			if err := h2.Save(&rt); err != nil {
+				t.Errorf("flip at byte %d accepted but cannot re-save: %v", i, err)
+			}
+		}()
+	}
+}
+
 func TestLoadTruncatedStream(t *testing.T) {
 	h := buildDataHierarchy(t, 4)
 	var buf bytes.Buffer
@@ -171,6 +216,23 @@ func FuzzLoad(f *testing.F) {
 	f.Add(planOnly.Bytes())
 	f.Add([]byte("not a checkpoint"))
 	f.Add([]byte{})
+
+	// Corruption-matrix seeds: truncations, byte flips in the header
+	// and data regions, and a duplicate-grid-ID stream — the shapes the
+	// durable store's generation fallback must survive.
+	wd := withData.Bytes()
+	flip := func(src []byte, i int) []byte {
+		d := append([]byte(nil), src...)
+		d[i] ^= 0xff
+		return d
+	}
+	f.Add(wd[:len(wd)/4])
+	f.Add(wd[:len(wd)-1])
+	f.Add(flip(wd, 3))
+	f.Add(flip(wd, len(wd)/2))
+	f.Add(flip(wd, len(wd)-4))
+	dupRoot := checkpointGrid{ID: 0, Level: 0, Box: geom.UnitCube(8), Parent: NoGrid}
+	f.Add(encodeStream(f, goodHeader(2), dupRoot, dupRoot))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, err := Load(bytes.NewReader(data))

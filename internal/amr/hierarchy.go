@@ -189,6 +189,20 @@ func (h *Hierarchy) Grid(id GridID) *Grid {
 	return h.byID[id]
 }
 
+// NextID returns the ID the next AddGrid will assign. Grid IDs break
+// ties in DLB decisions, so resumable checkpoints must preserve the
+// counter — Load alone only advances it past the highest live ID,
+// which loses the gap left by removed grids.
+func (h *Hierarchy) NextID() GridID { return h.nextID }
+
+// SetNextID raises the ID counter to n (restore only; values at or
+// below the current counter are ignored so IDs can never collide).
+func (h *Hierarchy) SetNextID(n GridID) {
+	if n > h.nextID {
+		h.nextID = n
+	}
+}
+
 // AddGrid creates a grid at the given level. The box must be non-empty
 // and within the level's domain. The patch is allocated (zeroed) when
 // the hierarchy carries data.

@@ -1,0 +1,364 @@
+// Package ckpt implements a durable, corruption-tolerant checkpoint
+// store for long SAMR campaigns. The engine writes a new generation
+// every CheckpointInterval level-0 steps; each generation is a
+// CRC32-framed record stream holding an engine-state header plus the
+// amr.Save gob payload, written via temp file + fsync + atomic rename
+// so a crash mid-write never destroys an older generation. A small
+// manifest tracks the retained generations (newest last); Restore
+// verifies every frame checksum and falls back generation by
+// generation when the newest checkpoint is torn or bit-flipped,
+// reporting what was skipped.
+//
+// On-disk layout of one generation (gen-%06d.ckpt):
+//
+//	magic "SAMRCKP1"                              (8 bytes)
+//	frame 0: uint32 BE length | uint32 BE CRC32-IEEE | gob(Meta)
+//	frame 1: uint32 BE length | uint32 BE CRC32-IEEE | amr.Save stream
+//
+// The store never interprets the hierarchy payload itself — the
+// caller validates it through Restore's accept callback, so semantic
+// corruption (a payload whose CRC holds but whose content amr.Load
+// rejects) also triggers the generation fallback.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"samrdlb/internal/vclock"
+)
+
+const (
+	magic = "SAMRCKP1"
+	// MetaVersion is the current engine-state header version; Restore
+	// rejects generations written by an incompatible future format.
+	MetaVersion = 1
+	// frameOverhead is the per-frame length + CRC prefix.
+	frameOverhead = 8
+	// maxFrame caps a frame's declared length: anything beyond it is a
+	// corrupt length field, not a plausible checkpoint.
+	maxFrame = 1 << 31
+)
+
+// ProbeSeq records one link pair's position in the deterministic
+// probe-loss drop sequence, so a resumed run observes the same fates
+// the uninterrupted run would have.
+type ProbeSeq struct {
+	A, B int
+	N    uint64
+}
+
+// Meta is the engine-state header stored alongside the hierarchy in
+// every generation: everything beyond the grid hierarchy that the
+// engine needs to continue a run byte-identically.
+type Meta struct {
+	Version int
+	// Step is the last completed level-0 step the generation covers.
+	Step int
+	// SimTime is the simulated physical time after that step.
+	SimTime float64
+	// Clock is the full virtual-clock state (global time, per-phase
+	// breakdown, per-processor busy time).
+	Clock vclock.State
+	// IntervalStart is the virtual time the current measurement
+	// interval began at (set before the checkpoint write was charged).
+	IntervalStart float64
+	// IntervalTime and Delta are the recorder's persistent T(t) and δ.
+	IntervalTime float64
+	Delta        float64
+	// ForceEval arms a catch-up gain/cost evaluation for the next
+	// global decision (set when a quarantine lifted just before the
+	// checkpoint).
+	ForceEval bool
+	// NextGridID preserves the hierarchy's ID counter: grid IDs break
+	// DLB ties, so a resumed run must hand out the same IDs.
+	NextGridID int64
+
+	// Run counters, cumulative from the start of the campaign.
+	GlobalEvals     int
+	GlobalRedists   int
+	LocalMigrations int
+	MaxCells        int64
+	LedgerEvents    uint64
+	LedgerRebuilds  int
+	DiskCheckpoints int
+	DiskCkptErrors  int
+	// WriteAttempts is the durable-write sequence position (attempts,
+	// including failed ones) — it keys the deterministic disk-fault
+	// decisions, so a resumed run replays the same corruption.
+	WriteAttempts int
+
+	// Fault-tolerance state (meaningful only when HasFaults).
+	HasFaults      bool
+	FaultSeed      int64
+	LastFailCheck  float64
+	WasQuarantined bool
+	FailedProcs    []int
+	ProbeSeq       []ProbeSeq
+	ProbeRetries   int
+	ProbeFallbacks int
+	RetryTime      float64
+	QuarSteps      int
+	CatchupEvals   int
+	Recoveries     int
+	RecoveryTime   float64
+	CkptFallbacks  int
+	PristineResets int
+	CorruptGens    int
+}
+
+// DiskFault injects deterministic corruption into checkpoint writes.
+// It mirrors netsim's FaultModel pattern: internal/fault implements it
+// without an import in either direction. n is the write's sequence
+// index (attempts since campaign start), t the virtual time.
+type DiskFault interface {
+	// WriteError reports whether the write fails outright (the file
+	// and manifest are left untouched).
+	WriteError(n int, t float64) bool
+	// TornWrite reports whether the write lands torn, and the fraction
+	// of bytes in [0,1) that survive.
+	TornWrite(n int, t float64) (bool, float64)
+	// FlipBit reports whether one bit of the written image is flipped,
+	// and a unit value in [0,1) selecting which bit.
+	FlipBit(n int, t float64) (bool, float64)
+}
+
+// Store manages a directory of checkpoint generations.
+type Store struct {
+	dir   string
+	keep  int
+	fault DiskFault
+	gens  []GenEntry // in-memory manifest view, oldest first
+}
+
+// GenEntry is one manifest row.
+type GenEntry struct {
+	Gen     int     `json:"gen"`
+	File    string  `json:"file"`
+	Step    int     `json:"step"`
+	SimTime float64 `json:"simTime"`
+	Size    int64   `json:"size"`
+}
+
+// Open creates (or reopens) a store rooted at dir, retaining keep
+// generations (keep < 1 is treated as 1). An existing manifest is
+// loaded; a missing or corrupt one falls back to scanning the
+// directory, so a store survives losing its manifest.
+func Open(dir string, keep int) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("ckpt.Open: empty directory")
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt.Open: %w", err)
+	}
+	s := &Store{dir: dir, keep: keep}
+	gens, err := s.loadManifest()
+	if err != nil {
+		// Manifest missing or corrupt: rebuild the view from the
+		// generation files themselves.
+		gens = s.scanDir()
+	}
+	s.gens = gens
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Keep returns the retention count.
+func (s *Store) Keep() int { return s.keep }
+
+// SetFault attaches a disk-fault injector consulted on every write.
+func (s *Store) SetFault(f DiskFault) { s.fault = f }
+
+// Generations returns the tracked generations, oldest first.
+func (s *Store) Generations() []GenEntry {
+	return append([]GenEntry(nil), s.gens...)
+}
+
+// latestGen returns the highest tracked generation number (0 if none).
+func (s *Store) latestGen() int {
+	if len(s.gens) == 0 {
+		return 0
+	}
+	return s.gens[len(s.gens)-1].Gen
+}
+
+// genFile names a generation's file.
+func genFile(gen int) string { return fmt.Sprintf("gen-%06d.ckpt", gen) }
+
+// frame appends one length-prefixed CRC32-framed record to b.
+func frame(b *bytes.Buffer, payload []byte) {
+	var hdr [frameOverhead]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	b.Write(hdr[:])
+	b.Write(payload)
+}
+
+// readFrame parses one frame from data, returning the payload and the
+// remaining bytes.
+func readFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) < frameOverhead {
+		return nil, nil, fmt.Errorf("truncated frame header (%d bytes)", len(data))
+	}
+	n := binary.BigEndian.Uint32(data[0:4])
+	sum := binary.BigEndian.Uint32(data[4:8])
+	if n > maxFrame {
+		return nil, nil, fmt.Errorf("absurd frame length %d", n)
+	}
+	if uint64(len(data)-frameOverhead) < uint64(n) {
+		return nil, nil, fmt.Errorf("frame declares %d bytes, only %d remain", n, len(data)-frameOverhead)
+	}
+	payload = data[frameOverhead : frameOverhead+int(n)]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, nil, fmt.Errorf("frame checksum mismatch: stored %08x, computed %08x", sum, got)
+	}
+	return payload, data[frameOverhead+int(n):], nil
+}
+
+// encode assembles the full on-disk image of one generation.
+func encode(meta *Meta, hierarchy []byte) ([]byte, error) {
+	var mb bytes.Buffer
+	if err := gob.NewEncoder(&mb).Encode(meta); err != nil {
+		return nil, fmt.Errorf("encode meta: %w", err)
+	}
+	var out bytes.Buffer
+	out.Grow(len(magic) + 2*frameOverhead + mb.Len() + len(hierarchy))
+	out.WriteString(magic)
+	frame(&out, mb.Bytes())
+	frame(&out, hierarchy)
+	return out.Bytes(), nil
+}
+
+// decode validates a generation image and returns its meta and
+// hierarchy payload.
+func decode(data []byte) (*Meta, []byte, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, nil, fmt.Errorf("bad magic (%d bytes)", len(data))
+	}
+	metaBytes, rest, err := readFrame(data[len(magic):])
+	if err != nil {
+		return nil, nil, fmt.Errorf("meta frame: %w", err)
+	}
+	payload, rest, err := readFrame(rest)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hierarchy frame: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("%d trailing bytes after the hierarchy frame", len(rest))
+	}
+	var meta Meta
+	if err := gob.NewDecoder(bytes.NewReader(metaBytes)).Decode(&meta); err != nil {
+		return nil, nil, fmt.Errorf("decode meta: %w", err)
+	}
+	if meta.Version != MetaVersion {
+		return nil, nil, fmt.Errorf("meta version %d, want %d", meta.Version, MetaVersion)
+	}
+	return &meta, payload, nil
+}
+
+// Write adds a new generation holding meta plus the serialised
+// hierarchy, pruning generations beyond the retention count. seq is
+// the caller's write-attempt counter and now the virtual time — both
+// feed the deterministic disk-fault decisions. A simulated write
+// error returns before anything touches disk; torn writes and bit
+// flips corrupt the stored bytes (the writer itself sees success,
+// like a lying disk), which is what exercises Restore's fallback.
+func (s *Store) Write(meta *Meta, hierarchy []byte, seq int, now float64) (int, error) {
+	meta.Version = MetaVersion
+	img, err := encode(meta, hierarchy)
+	if err != nil {
+		return 0, fmt.Errorf("ckpt.Write: %w", err)
+	}
+	if s.fault != nil && s.fault.WriteError(seq, now) {
+		return 0, fmt.Errorf("ckpt.Write: injected write error (write %d at t=%.4f)", seq, now)
+	}
+	if s.fault != nil {
+		if torn, frac := s.fault.TornWrite(seq, now); torn {
+			img = img[:int(frac*float64(len(img)))]
+		}
+		if flip, u := s.fault.FlipBit(seq, now); flip && len(img) > 0 {
+			bit := int(u * float64(len(img)*8))
+			img = append([]byte(nil), img...) // do not corrupt the caller's view
+			img[bit/8] ^= 1 << (bit % 8)
+		}
+	}
+
+	gen := s.latestGen() + 1
+	name := genFile(gen)
+	if err := s.atomicWrite(name, img); err != nil {
+		return 0, fmt.Errorf("ckpt.Write: %w", err)
+	}
+	s.gens = append(s.gens, GenEntry{
+		Gen: gen, File: name, Step: meta.Step, SimTime: meta.SimTime, Size: int64(len(img)),
+	})
+	s.prune()
+	if err := s.writeManifest(); err != nil {
+		return 0, fmt.Errorf("ckpt.Write: %w", err)
+	}
+	return gen, nil
+}
+
+// atomicWrite writes data to name via temp file + fsync + rename, then
+// fsyncs the directory so the rename itself is durable.
+func (s *Store) atomicWrite(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory; filesystems that refuse directory syncs
+// are tolerated (the rename is still atomic).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		// Some filesystems (and sandboxes) reject fsync on directories;
+		// treat any sync error as non-fatal best effort.
+		return nil
+	}
+	return nil
+}
+
+// prune drops generations beyond the retention count, deleting their
+// files best-effort.
+func (s *Store) prune() {
+	for len(s.gens) > s.keep {
+		old := s.gens[0]
+		s.gens = s.gens[1:]
+		os.Remove(filepath.Join(s.dir, old.File))
+	}
+}

@@ -1,0 +1,175 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"samrdlb/internal/vclock"
+)
+
+// testMeta builds a minimal but distinctive meta.
+func testMeta(step int) *Meta {
+	return &Meta{
+		Step:    step,
+		SimTime: float64(step) * 0.25,
+		Clock:   vclock.State{Now: float64(step), Busy: []float64{1, 2}},
+	}
+}
+
+func mustWrite(t *testing.T, s *Store, step int, payload []byte) int {
+	t.Helper()
+	gen, err := s.Write(testMeta(step), payload, step, float64(step))
+	if err != nil {
+		t.Fatalf("Write(step=%d): %v", step, err)
+	}
+	return gen
+}
+
+func TestWriteRestoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hierarchy bytes for step 4")
+	gen := mustWrite(t, s, 4, payload)
+	if gen != 1 {
+		t.Errorf("first generation = %d, want 1", gen)
+	}
+	meta, got, report, err := s.Restore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 4 || meta.SimTime != 1.0 {
+		t.Errorf("meta = %+v", meta)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+	if report.Gen != 1 || len(report.Skipped) != 0 {
+		t.Errorf("report = %+v", report)
+	}
+}
+
+func TestRetentionPrunesOldGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5; step++ {
+		mustWrite(t, s, step, []byte{byte(step)})
+	}
+	gens := s.Generations()
+	if len(gens) != 2 || gens[0].Gen != 4 || gens[1].Gen != 5 {
+		t.Fatalf("retained generations = %+v, want gens 4 and 5", gens)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "gen-*.ckpt"))
+	if len(files) != 2 {
+		t.Errorf("on-disk generation files = %v, want 2", files)
+	}
+	// The newest still restores.
+	meta, _, _, err := s.Restore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 4 {
+		t.Errorf("restored step %d, want 4", meta.Step)
+	}
+}
+
+func TestReopenContinuesGenerationNumbering(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 3)
+	mustWrite(t, s, 0, []byte("a"))
+	mustWrite(t, s, 1, []byte("b"))
+
+	s2, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := mustWrite(t, s2, 2, []byte("c"))
+	if gen != 3 {
+		t.Errorf("generation after reopen = %d, want 3", gen)
+	}
+	meta, payload, _, err := s2.Restore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 2 || string(payload) != "c" {
+		t.Errorf("restored step %d payload %q", meta.Step, payload)
+	}
+}
+
+func TestRestoreSurvivesMissingManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 3)
+	mustWrite(t, s, 0, []byte("a"))
+	mustWrite(t, s, 1, []byte("b"))
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, payload, _, err := s2.Restore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 1 || string(payload) != "b" {
+		t.Errorf("restored step %d payload %q after manifest loss", meta.Step, payload)
+	}
+}
+
+func TestRestoreSurvivesCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 3)
+	mustWrite(t, s, 7, []byte("x"))
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, _, _, err := s2.Restore(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 7 {
+		t.Errorf("restored step %d, want 7", meta.Step)
+	}
+}
+
+func TestEmptyStoreRestoreFails(t *testing.T) {
+	s, _ := Open(t.TempDir(), 3)
+	if _, _, _, err := s.Restore(nil); err == nil {
+		t.Fatal("restore of an empty store must fail")
+	}
+}
+
+func TestAcceptRejectionFallsBack(t *testing.T) {
+	s, _ := Open(t.TempDir(), 3)
+	mustWrite(t, s, 0, []byte("good"))
+	mustWrite(t, s, 1, []byte("semantically bad"))
+	meta, payload, report, err := s.Restore(func(m *Meta, p []byte) error {
+		if string(p) != "good" {
+			return os.ErrInvalid
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Step != 0 || string(payload) != "good" {
+		t.Errorf("restored step %d payload %q, want the older good generation", meta.Step, payload)
+	}
+	if len(report.Skipped) != 1 || report.Skipped[0].Gen != 2 {
+		t.Errorf("report = %+v, want gen 2 skipped", report)
+	}
+	if !strings.Contains(report.String(), "skipped generation 2") {
+		t.Errorf("report string %q lacks the skip", report.String())
+	}
+}

@@ -1,0 +1,88 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// manifestName is the store's index file. It is advisory: Restore
+// survives a missing or corrupt manifest by scanning the directory,
+// so a crash between the generation rename and the manifest rename
+// loses nothing.
+const manifestName = "MANIFEST.json"
+
+// manifest is the serialised index.
+type manifest struct {
+	Version     int        `json:"version"`
+	Generations []GenEntry `json:"generations"` // oldest first
+}
+
+// writeManifest persists the current generation list atomically.
+func (s *Store) writeManifest() error {
+	data, err := json.MarshalIndent(manifest{Version: MetaVersion, Generations: s.gens}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return s.atomicWrite(manifestName, append(data, '\n'))
+}
+
+// loadManifest reads and sanity-checks the manifest.
+func (s *Store) loadManifest() ([]GenEntry, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if m.Version != MetaVersion {
+		return nil, fmt.Errorf("manifest version %d, want %d", m.Version, MetaVersion)
+	}
+	gens := m.Generations
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Gen < gens[j].Gen })
+	for i, g := range gens {
+		if g.Gen <= 0 || g.File == "" || strings.Contains(g.File, "/") {
+			return nil, fmt.Errorf("manifest entry %d is malformed: %+v", i, g)
+		}
+		if i > 0 && gens[i-1].Gen == g.Gen {
+			return nil, fmt.Errorf("manifest lists generation %d twice", g.Gen)
+		}
+	}
+	return gens, nil
+}
+
+// scanDir rebuilds the generation view from gen-*.ckpt files when the
+// manifest is unusable.
+func (s *Store) scanDir() []GenEntry {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var gens []GenEntry
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "gen-"), ".ckpt"))
+		if err != nil || n <= 0 {
+			continue
+		}
+		info, err := e.Info()
+		var size int64
+		if err == nil {
+			size = info.Size()
+		}
+		// Step/SimTime are unknown until the file is decoded; Restore
+		// fills them in when it validates the generation.
+		gens = append(gens, GenEntry{Gen: n, File: name, Step: -1, Size: size})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Gen < gens[j].Gen })
+	return gens
+}

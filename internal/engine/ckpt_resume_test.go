@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"samrdlb/internal/fault"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/workload"
+)
+
+// resumeSteps is the uninterrupted run length of the byte-identity
+// tests; interval 2 puts durable generations after steps 1, 3, 5, 7.
+const resumeSteps = 8
+
+// testResumeIdentity is the tentpole acceptance check: a run
+// interrupted after `stop` steps and resumed from its durable store
+// must produce a Result byte-identical to the uninterrupted run's.
+// mkDriver builds a fresh driver per run (drivers carry mutable state,
+// e.g. particle sets); tweak customises each run's options the same
+// way (constructing fresh fault schedules etc.).
+func testResumeIdentity(t *testing.T, stops []int, mkDriver func() workload.Driver, tweak func(*Options)) {
+	t.Helper()
+	mkOpt := func(dir string, steps int) Options {
+		opt := Options{Steps: steps, MaxLevel: 1, CheckpointInterval: 2, CheckpointDir: dir}
+		if tweak != nil {
+			tweak(&opt)
+		}
+		return opt
+	}
+	want := New(machine.WanPair(4, nil), mkDriver(), mkOpt(t.TempDir(), resumeSteps)).Run()
+
+	for _, stop := range stops {
+		dir := t.TempDir()
+		New(machine.WanPair(4, nil), mkDriver(), mkOpt(dir, stop)).Run()
+		r, report, err := Resume(machine.WanPair(4, nil), mkDriver(), mkOpt(dir, resumeSteps))
+		if err != nil {
+			t.Fatalf("stop after %d steps: %v", stop, err)
+		}
+		if len(report.Skipped) != 0 {
+			t.Errorf("stop=%d: unexpected skipped generations %+v", stop, report.Skipped)
+		}
+		got := r.Run()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("stop=%d: resumed result differs\n got: %+v\nwant: %+v", stop, got, want)
+		}
+	}
+}
+
+func TestResumeByteIdenticalResult(t *testing.T) {
+	testResumeIdentity(t, []int{2, 3, 4, 5, 6, 7},
+		func() workload.Driver { return workload.NewShockPool3D(16, 2) }, nil)
+}
+
+func TestResumeByteIdenticalWithData(t *testing.T) {
+	testResumeIdentity(t, []int{3, 6},
+		func() workload.Driver { return workload.NewShockPool3D(16, 2) },
+		func(o *Options) { o.WithData = true })
+}
+
+func TestResumeByteIdenticalWithParticles(t *testing.T) {
+	testResumeIdentity(t, []int{4},
+		func() workload.Driver { return workload.NewAMR64(16, 2, 11) }, nil)
+}
+
+func TestResumeByteIdenticalWithSlowdownFaults(t *testing.T) {
+	testResumeIdentity(t, []int{2, 5},
+		func() workload.Driver { return workload.NewShockPool3D(16, 2) },
+		func(o *Options) {
+			sched, err := fault.NewSchedule(7,
+				fault.Event{Kind: fault.ProcSlowdown, Proc: 2, Start: 0.001, End: 1e9, Factor: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.Faults = sched
+		})
+}
+
+// TestResumeSkipsCorruptNewestGeneration corrupts the newest on-disk
+// generation after the interruption: Resume must fall back to the
+// previous generation, report the skip, and still converge to the
+// byte-identical Result (the extra replayed steps are deterministic).
+func TestResumeSkipsCorruptNewestGeneration(t *testing.T) {
+	mkOpt := func(dir string, steps int) Options {
+		return Options{Steps: steps, MaxLevel: 1, CheckpointInterval: 2, CheckpointDir: dir}
+	}
+	want := New(machine.WanPair(4, nil), workload.NewShockPool3D(16, 2), mkOpt(t.TempDir(), resumeSteps)).Run()
+
+	dir := t.TempDir()
+	New(machine.WanPair(4, nil), workload.NewShockPool3D(16, 2), mkOpt(dir, 6)).Run()
+	names, err := filepath.Glob(filepath.Join(dir, "gen-*.ckpt"))
+	if err != nil || len(names) < 2 {
+		t.Fatalf("generations on disk: %v (err %v)", names, err)
+	}
+	sort.Strings(names)
+	newest := names[len(names)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, report, err := Resume(machine.WanPair(4, nil), workload.NewShockPool3D(16, 2), mkOpt(dir, resumeSteps))
+	if err != nil {
+		t.Fatalf("resume must fall back past the corrupt generation: %v", err)
+	}
+	if len(report.Skipped) != 1 {
+		t.Errorf("skipped = %+v, want exactly the corrupt newest generation", report.Skipped)
+	}
+	got := r.Run()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed-after-corruption result differs\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestRecoveryFallsBackToDurableGeneration is the run-time acceptance
+// scenario: the in-memory recovery blob is corrupt when a processor
+// failure strikes AND an injected disk fault bit-flipped the newest
+// on-disk generation — the run must still recover from an older
+// generation without panicking.
+func TestRecoveryFallsBackToDurableGeneration(t *testing.T) {
+	// Probe run (store enabled, empty schedule) records the boundary
+	// clocks so the fault windows land where intended.
+	probe, err := fault.NewSchedule(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bt []float64
+	New(machine.WanPair(4, nil), workload.NewShockPool3D(16, 2), Options{
+		Steps: 8, MaxLevel: 1, CheckpointInterval: 2, CheckpointDir: t.TempDir(),
+		Faults:    probe,
+		AfterStep: func(step int, rr *Runner) { bt = append(bt, rr.Clock().Now()) },
+	}).Run()
+
+	// Bit-flip the durable write at the step-3 boundary; fail a
+	// processor inside step 5; truncate the in-memory blob just before
+	// the failure is detected.
+	sched, err := fault.NewSchedule(7,
+		fault.Event{Kind: fault.DiskBitFlip, Start: (bt[1] + bt[2]) / 2, End: (bt[3] + bt[4]) / 2},
+		fault.Event{Kind: fault.ProcFailure, Proc: 5, Start: (bt[4] + bt[5]) / 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(machine.WanPair(4, nil), workload.NewShockPool3D(16, 2), Options{
+		Steps: 8, MaxLevel: 1, CheckpointInterval: 2, CheckpointDir: t.TempDir(),
+		Faults: sched,
+		AfterStep: func(step int, rr *Runner) {
+			if step == 4 {
+				rr.ckpt = rr.ckpt[:len(rr.ckpt)/2]
+			}
+		},
+	})
+	res := r.Run()
+	if res.Recoveries != 1 || res.FailedProcs != 1 {
+		t.Errorf("recoveries=%d failed=%d, want 1/1", res.Recoveries, res.FailedProcs)
+	}
+	if res.CheckpointFallbacks != 1 {
+		t.Errorf("CheckpointFallbacks = %d, want 1 (corrupt in-memory blob)", res.CheckpointFallbacks)
+	}
+	if res.CorruptGenerations < 1 {
+		t.Errorf("CorruptGenerations = %d, want >=1 (bit-flipped gen skipped)", res.CorruptGenerations)
+	}
+	if res.PristineRestarts != 0 {
+		t.Errorf("PristineRestarts = %d, want 0 (an older generation was usable)", res.PristineRestarts)
+	}
+	if res.DiskCheckpointErrors != 0 {
+		t.Errorf("a bit flip is a lying disk, not a write error: errors=%d", res.DiskCheckpointErrors)
+	}
+}
+
+// TestRecoveryPristineRestartWithoutStore: with no durable store and a
+// corrupt in-memory blob, recovery degrades to a pristine rebuild of
+// the initial state — counted, traced, and panic-free.
+func TestRecoveryPristineRestartWithoutStore(t *testing.T) {
+	bt := boundaryClocks(t, 8)
+	sched, err := fault.NewSchedule(7,
+		fault.Event{Kind: fault.ProcFailure, Proc: 5, Start: (bt[4] + bt[5]) / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(machine.WanPair(4, nil), workload.NewShockPool3D(16, 2), Options{
+		Steps: 8, MaxLevel: 1, Faults: sched,
+		AfterStep: func(step int, rr *Runner) {
+			if step == 4 {
+				rr.ckpt = rr.ckpt[:len(rr.ckpt)/2]
+			}
+		},
+	})
+	res := r.Run()
+	if res.PristineRestarts != 1 || res.CheckpointFallbacks != 1 {
+		t.Errorf("pristine=%d fallbacks=%d, want 1/1", res.PristineRestarts, res.CheckpointFallbacks)
+	}
+	if res.Recoveries != 1 || res.FailedProcs != 1 {
+		t.Errorf("recoveries=%d failed=%d, want 1/1", res.Recoveries, res.FailedProcs)
+	}
+	if res.Total <= 0 || res.Steps != 8 {
+		t.Errorf("the restarted run must still complete: %+v", res)
+	}
+}
+
+// TestResumeErrors: configuration mismatches surface as errors, never
+// panics.
+func TestResumeErrors(t *testing.T) {
+	driver := func() workload.Driver { return workload.NewShockPool3D(16, 2) }
+	if _, _, err := Resume(machine.WanPair(4, nil), driver(), Options{Steps: 8, MaxLevel: 1}); err == nil {
+		t.Error("Resume without CheckpointDir must error")
+	}
+	if _, _, err := Resume(machine.WanPair(4, nil), driver(),
+		Options{Steps: 8, MaxLevel: 1, CheckpointDir: t.TempDir()}); err == nil {
+		t.Error("Resume from an empty store must error")
+	}
+
+	dir := t.TempDir()
+	New(machine.WanPair(4, nil), driver(), Options{
+		Steps: 4, MaxLevel: 1, CheckpointInterval: 2, CheckpointDir: dir,
+	}).Run()
+	if _, _, err := Resume(machine.WanPair(2, nil), driver(),
+		Options{Steps: 8, MaxLevel: 1, CheckpointDir: dir}); err == nil {
+		t.Error("processor-count mismatch must be rejected")
+	}
+	sched, err := fault.NewSchedule(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(machine.WanPair(4, nil), driver(),
+		Options{Steps: 8, MaxLevel: 1, CheckpointDir: dir, Faults: sched}); err == nil {
+		t.Error("fault-configuration mismatch must be rejected")
+	}
+	if _, _, err := Resume(machine.WanPair(4, nil), driver(),
+		Options{Steps: 8, MaxLevel: 1, CheckpointDir: dir, WithData: true}); err == nil {
+		t.Error("WithData mismatch must be rejected")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"samrdlb/internal/amr"
+	"samrdlb/internal/ckpt"
 	"samrdlb/internal/cluster"
 	"samrdlb/internal/dlb"
 	"samrdlb/internal/fault"
@@ -102,9 +103,19 @@ type Options struct {
 	// from the last checkpoint when a processor fails.
 	Faults *fault.Schedule
 	// CheckpointInterval is the number of level-0 steps between
-	// periodic recovery checkpoints (default 4; only used when Faults
-	// is set).
+	// periodic recovery checkpoints (default 4; used when Faults is
+	// set and for the durable store when CheckpointDir is set).
 	CheckpointInterval int
+	// CheckpointDir, when non-empty, enables the durable generational
+	// checkpoint store (internal/ckpt): every CheckpointInterval
+	// level-0 steps the engine writes its full state — hierarchy,
+	// virtual clock, counters, fault bookkeeping — to a new CRC32-
+	// framed on-disk generation, making an interrupted run resumable
+	// via Resume. In-memory behaviour is unchanged when unset.
+	CheckpointDir string
+	// CheckpointKeep bounds the retained on-disk generations
+	// (default 3; only used with CheckpointDir).
+	CheckpointKeep int
 	// Retry bounds the probe retry/backoff loop of the global phase
 	// (zero value = netsim defaults).
 	Retry netsim.RetryPolicy
@@ -144,6 +155,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.CheckpointInterval <= 0 {
 		o.CheckpointInterval = 4
+	}
+	if o.CheckpointKeep <= 0 {
+		o.CheckpointKeep = 3
 	}
 }
 
@@ -189,13 +203,27 @@ type Runner struct {
 	maxCells      int64
 
 	// Fault-tolerance state (active only when opt.Faults is set).
-	ckpt          []byte  // last checkpoint (gob stream)
-	ckptStep      int     // level-0 step it covers (-1 = pristine)
-	ckptT         float64 // simulated time at the checkpoint
-	ckptClock     float64 // virtual wall time at the checkpoint
-	lastFailCheck float64 // end of the last failure-scan window
+	ckpt          []byte       // last checkpoint (gob stream)
+	ckptBuf       bytes.Buffer // reused serialisation scratch
+	ckptStep      int          // level-0 step it covers (-1 = pristine)
+	ckptT         float64      // simulated time at the checkpoint
+	ckptClock     float64      // virtual wall time at the checkpoint
+	lastFailCheck float64      // end of the last failure-scan window
 	failedSet     map[int]bool
 	wasQuar       bool // a group was quarantined at the last boundary
+
+	// Durable checkpoint state (active only when opt.CheckpointDir is
+	// set, except for the fallback counters, which the in-memory
+	// recovery path also feeds).
+	store          *ckpt.Store
+	startStep      int  // first level-0 step of this process (> 0 on resume)
+	resumed        bool // this runner continues an interrupted run
+	ckptAttempts   int  // durable write attempts; keys disk-fault decisions
+	diskCkptWrites int
+	diskCkptErrors int
+	ckptFallbacks  int
+	corruptGens    int
+	pristineResets int
 
 	probeRetries   int
 	probeFallbacks int
@@ -276,6 +304,16 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 		}
 		r.failedSet = make(map[int]bool)
 		r.ckptStep = -1
+	}
+	if opt.CheckpointDir != "" {
+		st, err := ckpt.Open(opt.CheckpointDir, opt.CheckpointKeep)
+		if err != nil {
+			panic("engine: " + err.Error())
+		}
+		if opt.Faults != nil {
+			st.SetFault(opt.Faults.ForDisk())
+		}
+		r.store = st
 	}
 	if opt.UseMPX {
 		if !opt.WithData {
@@ -362,10 +400,18 @@ func (r *Runner) dt(level int) float64 {
 // across level-0 boundaries.
 func (r *Runner) Run() *metrics.Result {
 	if r.opt.Faults != nil {
-		r.lastFailCheck = -1
-		r.takeCheckpoint(-1)
+		if r.resumed {
+			// The resume point doubles as the in-memory recovery point;
+			// its write cost was charged by the run that produced the
+			// durable generation, so remember it without charging again.
+			r.rememberCheckpoint(r.startStep - 1)
+			r.ckptClock = r.clock.Now()
+		} else {
+			r.lastFailCheck = -1
+			r.takeCheckpoint(-1)
+		}
 	}
-	for s := 0; s < r.opt.Steps; s++ {
+	for s := r.startStep; s < r.opt.Steps; s++ {
 		if r.opt.Faults != nil {
 			r.applySlowdowns()
 		}
@@ -384,6 +430,9 @@ func (r *Runner) Run() *metrics.Result {
 			}
 		}
 		r.globalBalance()
+		if r.store != nil && (s+1)%r.opt.CheckpointInterval == 0 {
+			r.writeDurable(s)
+		}
 		if r.opt.AfterStep != nil {
 			r.opt.AfterStep(s, r)
 		}
@@ -448,17 +497,26 @@ func (r *Runner) detectFailures() bool {
 	return hit
 }
 
+// rememberCheckpoint serialises the hierarchy into the reused scratch
+// buffer and records it as the in-memory recovery point, without
+// charging the virtual clock (the caller charges, or the cost was
+// already paid — by the original run, when resuming).
+func (r *Runner) rememberCheckpoint(step int) {
+	r.ckptBuf.Reset()
+	if err := r.h.Save(&r.ckptBuf); err != nil {
+		panic(fmt.Sprintf("engine: checkpoint failed: %v", err))
+	}
+	// Copy out of the scratch buffer: the durable write path resets it.
+	r.ckpt = append(r.ckpt[:0], r.ckptBuf.Bytes()...)
+	r.ckptStep = step
+	r.ckptT = r.t
+}
+
 // takeCheckpoint serialises the hierarchy for recovery, charging the
 // write cost to the Recovery phase. step is the last completed level-0
 // step the checkpoint covers (-1 for the pristine pre-run state).
 func (r *Runner) takeCheckpoint(step int) {
-	var buf bytes.Buffer
-	if err := r.h.Save(&buf); err != nil {
-		panic(fmt.Sprintf("engine: checkpoint failed: %v", err))
-	}
-	r.ckpt = buf.Bytes()
-	r.ckptStep = step
-	r.ckptT = r.t
+	r.rememberCheckpoint(step)
 	cells := r.ledger.TotalCells()
 	r.clock.AddUniform(vclock.Recovery, float64(cells)*checkpointFlopsPerCell/r.sys.FlopsPerSecond)
 	r.ckptClock = r.clock.Now()
@@ -466,22 +524,111 @@ func (r *Runner) takeCheckpoint(step int) {
 		fmt.Sprintf("checkpoint step=%d cells=%d", step, cells))
 }
 
+// writeDurable serialises the full engine state — hierarchy plus the
+// Meta header Resume needs — into a new generation of the durable
+// store. The write cost is charged to the Recovery phase before the
+// clock is snapshotted, so a resumed run reproduces the charge
+// exactly. A failed write (injected disk fault or real I/O error) is
+// counted and traced but never aborts the run: the older generations
+// are untouched.
+func (r *Runner) writeDurable(step int) {
+	r.ckptBuf.Reset()
+	if err := r.h.Save(&r.ckptBuf); err != nil {
+		panic(fmt.Sprintf("engine: durable checkpoint failed: %v", err))
+	}
+	cells := r.ledger.TotalCells()
+	r.clock.AddUniform(vclock.Recovery, float64(cells)*checkpointFlopsPerCell/r.sys.FlopsPerSecond)
+	seq := r.ckptAttempts
+	r.ckptAttempts++
+	meta := r.snapshotMeta(step)
+	gen, err := r.store.Write(meta, r.ckptBuf.Bytes(), seq, r.clock.Now())
+	if err != nil {
+		r.diskCkptErrors++
+		r.opt.Trace.Add(trace.Checkpoint, 0, r.clock.Now(),
+			fmt.Sprintf("write failed step=%d: %v", step, err))
+		return
+	}
+	r.diskCkptWrites++
+	r.opt.Trace.Add(trace.Checkpoint, 0, r.clock.Now(),
+		fmt.Sprintf("gen=%d step=%d cells=%d bytes=%d", gen, step, cells, r.ckptBuf.Len()))
+}
+
+// snapshotMeta captures everything beyond the hierarchy that Resume
+// needs to continue the run byte-identically. step is the completed
+// level-0 step the snapshot covers; counters are cumulative, with the
+// in-flight durable write already counted (a generation that lands on
+// disk describes the world in which its own write succeeded).
+func (r *Runner) snapshotMeta(step int) *ckpt.Meta {
+	m := &ckpt.Meta{
+		Version:         ckpt.MetaVersion,
+		Step:            step,
+		SimTime:         r.t,
+		Clock:           r.clock.State(),
+		IntervalStart:   r.intervalStart,
+		IntervalTime:    r.rec.IntervalTime(),
+		Delta:           r.rec.Delta(),
+		ForceEval:       r.ctx.ForceEval,
+		NextGridID:      int64(r.h.NextID()),
+		GlobalEvals:     r.globalEvals,
+		GlobalRedists:   r.globalRedists,
+		LocalMigrations: r.localMigs,
+		MaxCells:        r.maxCells,
+		LedgerEvents:    r.ledgerEvents + r.ledger.EventCount(),
+		LedgerRebuilds:  r.ledgerRebuilds + r.ledger.Rebuilds(),
+		DiskCheckpoints: r.diskCkptWrites + 1,
+		DiskCkptErrors:  r.diskCkptErrors,
+		WriteAttempts:   r.ckptAttempts,
+		CkptFallbacks:   r.ckptFallbacks,
+		PristineResets:  r.pristineResets,
+		CorruptGens:     r.corruptGens,
+	}
+	if f := r.opt.Faults; f != nil {
+		m.HasFaults = true
+		m.FaultSeed = f.Seed()
+		m.LastFailCheck = r.lastFailCheck
+		m.WasQuarantined = r.wasQuar
+		for p := range r.failedSet {
+			m.FailedProcs = append(m.FailedProcs, p)
+		}
+		sort.Ints(m.FailedProcs)
+		for _, e := range f.ProbeSeqSnapshot() {
+			m.ProbeSeq = append(m.ProbeSeq, ckpt.ProbeSeq{A: e.A, B: e.B, N: e.N})
+		}
+		m.ProbeRetries = r.probeRetries
+		m.ProbeFallbacks = r.probeFallbacks
+		m.RetryTime = r.retryTime
+		m.QuarSteps = r.quarSteps
+		m.CatchupEvals = r.catchupEvals
+		m.Recoveries = r.recoveries
+		m.RecoveryTime = r.recoveryTime
+	}
+	return m
+}
+
 // recoverFromCheckpoint restores the hierarchy from the last periodic
 // checkpoint after a processor failure, re-runs the initial partition
 // over the surviving processors, and charges the restore to the
 // Recovery phase. The wall time elapsed since the checkpoint — work
 // that is now lost and must be replayed — is recorded as recovery
-// time. Returns the checkpoint's step so the caller's loop replays
-// from the step after it.
+// time. An unusable in-memory checkpoint no longer kills the run: the
+// restore falls back to the durable store's generations and, as a last
+// resort, to a pristine rebuild of the initial state. Returns the
+// restored step so the caller's loop replays from the step after it.
 func (r *Runner) recoverFromCheckpoint() int {
-	lost := r.clock.Now() - r.ckptClock
+	now := r.clock.Now()
+	step, simT, ckClock := r.ckptStep, r.ckptT, r.ckptClock
 	h, err := amr.Load(bytes.NewReader(r.ckpt))
+	pristine := false
 	if err != nil {
-		panic(fmt.Sprintf("engine: checkpoint restore failed: %v", err))
+		r.ckptFallbacks++
+		r.opt.Trace.Add(trace.Fault, 0, now,
+			fmt.Sprintf("in-memory checkpoint unusable (%v); falling back", err))
+		h, step, simT, ckClock, pristine = r.recoverFallback(now)
 	}
+	lost := now - ckClock
 	r.h = h
 	r.ctx.H = h
-	r.t = r.ckptT
+	r.t = simT
 	// The restored hierarchy needs a fresh ledger — the one unavoidable
 	// full recompute besides the initial build, parallelised over the
 	// pool — attached before repartition so the ownership reshuffle
@@ -492,6 +639,9 @@ func (r *Runner) recoverFromCheckpoint() int {
 	h.SetListener(r.ledger)
 	r.ctx.Ledger = r.ledger
 	r.ledgerRebuilds++
+	if pristine {
+		r.initLevel0()
+	}
 	r.repartition()
 	restore := float64(r.ledger.TotalCells()) * checkpointFlopsPerCell / r.sys.FlopsPerSecond
 	r.clock.AddUniform(vclock.Recovery, restore)
@@ -501,10 +651,51 @@ func (r *Runner) recoverFromCheckpoint() int {
 	// exists; start the next measurement interval clean.
 	r.rec.ResetInterval()
 	r.intervalStart = r.clock.Now()
+	if err != nil {
+		// The blob that just failed must not be retried on the next
+		// failure: the recovered state becomes the new recovery point
+		// (its restore cost was charged above).
+		r.rememberCheckpoint(step)
+		r.ckptClock = r.clock.Now()
+	}
 	r.opt.Trace.Add(trace.Recovery, 0, r.clock.Now(),
 		fmt.Sprintf("restored checkpoint step=%d lost=%.4fs survivors=%d",
-			r.ckptStep, lost, r.sys.NumAlive()))
-	return r.ckptStep
+			step, lost, r.sys.NumAlive()))
+	return step
+}
+
+// recoverFallback is the error path of recoverFromCheckpoint: the
+// in-memory blob was unusable, so try the durable store's generations
+// (newest first, skipping corrupt ones), and as a last resort rebuild
+// the pristine initial state. It never panics — a fault-injected run
+// always degrades to *some* valid state.
+func (r *Runner) recoverFallback(now float64) (h *amr.Hierarchy, step int, simT, ckClock float64, pristine bool) {
+	if r.store != nil {
+		var hier *amr.Hierarchy
+		meta, _, report, err := r.store.Restore(func(m *ckpt.Meta, payload []byte) error {
+			var e error
+			hier, e = amr.Load(bytes.NewReader(payload))
+			return e
+		})
+		if report != nil {
+			r.corruptGens += len(report.Skipped)
+		}
+		if err == nil {
+			hier.SetNextID(amr.GridID(meta.NextGridID))
+			r.opt.Trace.Add(trace.Checkpoint, 0, now,
+				fmt.Sprintf("recovered from durable gen=%d step=%d", report.Gen, meta.Step))
+			return hier, meta.Step, meta.SimTime, meta.Clock.Now, false
+		}
+		r.opt.Trace.Add(trace.Checkpoint, 0, now,
+			fmt.Sprintf("durable restore failed: %v", err))
+	}
+	// Pristine restart: rebuild the initial hierarchy from scratch and
+	// replay the whole run on the surviving processors.
+	r.pristineResets++
+	r.opt.Trace.Add(trace.Fault, 0, now, "no usable checkpoint; pristine restart")
+	h = amr.New(geom.UnitCube(r.driver.DomainN()), r.refFactor, r.opt.MaxLevel,
+		r.opt.NGhost, r.opt.WithData, r.driver.Fields()...)
+	return h, -1, 0, 0, true
 }
 
 // repartition re-runs the initial level-0 partition over the surviving
@@ -984,5 +1175,10 @@ func (r *Runner) result() *metrics.Result {
 		res.RecoveryTime = r.recoveryTime
 		res.FailedProcs = len(r.failedSet)
 	}
+	res.DiskCheckpoints = r.diskCkptWrites
+	res.DiskCheckpointErrors = r.diskCkptErrors
+	res.CheckpointFallbacks = r.ckptFallbacks
+	res.CorruptGenerations = r.corruptGens
+	res.PristineRestarts = r.pristineResets
 	return res
 }

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/ckpt"
+	"samrdlb/internal/fault"
+	"samrdlb/internal/geom"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/workload"
+)
+
+// Resume reconstructs a Runner from the durable checkpoint store at
+// opt.CheckpointDir and continues the interrupted run: the returned
+// runner's Run() executes the remaining level-0 steps and yields a
+// Result identical to the uninterrupted run's. Generations that fail
+// validation — torn, bit-flipped, or semantically rejected by amr.Load
+// — are skipped newest-first; the report says what was skipped and
+// which generation won. sys and driver must be fresh instances
+// configured exactly like the original run's (the store carries no
+// system or workload description, only a few compatibility fields that
+// are checked here).
+//
+// Known resume limitations, accepted by design: the NWS forecast
+// history restarts empty (runs whose decisions consult the forecast
+// may diverge), and a processor failure after the resume point rewinds
+// to the resume point rather than the original run's in-memory
+// checkpoint.
+func Resume(sys *machine.System, driver workload.Driver, opt Options) (*Runner, *ckpt.RestoreReport, error) {
+	opt.setDefaults()
+	if opt.CheckpointDir == "" {
+		return nil, nil, fmt.Errorf("engine.Resume: Options.CheckpointDir is required")
+	}
+	if opt.Resume != nil {
+		return nil, nil, fmt.Errorf("engine.Resume: Options.Resume must be nil (the store supplies the hierarchy)")
+	}
+	store, err := ckpt.Open(opt.CheckpointDir, opt.CheckpointKeep)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine.Resume: %w", err)
+	}
+	var h *amr.Hierarchy
+	meta, _, report, err := store.Restore(func(m *ckpt.Meta, payload []byte) error {
+		if e := validateMeta(m, sys, &opt); e != nil {
+			return e
+		}
+		hh, e := amr.Load(bytes.NewReader(payload))
+		if e != nil {
+			return e
+		}
+		if dom := geom.UnitCube(driver.DomainN()); hh.Domain != dom {
+			return fmt.Errorf("checkpoint domain %v does not match driver %q (%v)", hh.Domain, driver.Name(), dom)
+		}
+		if hh.RefFactor != driver.RefFactor() {
+			return fmt.Errorf("checkpoint refinement factor %d, driver wants %d", hh.RefFactor, driver.RefFactor())
+		}
+		if hh.WithData != opt.WithData {
+			return fmt.Errorf("checkpoint WithData=%v, options want %v", hh.WithData, opt.WithData)
+		}
+		h = hh
+		return nil
+	})
+	if err != nil {
+		return nil, report, fmt.Errorf("engine.Resume: %w", err)
+	}
+	opt.Resume = h
+	opt.ResumeTime = meta.SimTime
+	// New opens its own Store handle on the same directory (continuing
+	// the generation numbering the restore saw) and attaches the
+	// disk-fault injector if the run is fault-scripted.
+	r := New(sys, driver, opt)
+	if err := r.restoreFromMeta(meta); err != nil {
+		return nil, report, fmt.Errorf("engine.Resume: %w", err)
+	}
+	return r, report, nil
+}
+
+// validateMeta rejects checkpoints that cannot possibly belong to this
+// system and fault configuration — errors, never panics, so Restore
+// falls through to older generations (a mismatch rejects them all and
+// surfaces as a joined error).
+func validateMeta(m *ckpt.Meta, sys *machine.System, opt *Options) error {
+	if len(m.Clock.Busy) != sys.NumProcs() {
+		return fmt.Errorf("checkpoint covers %d processors, system has %d", len(m.Clock.Busy), sys.NumProcs())
+	}
+	if m.HasFaults != (opt.Faults != nil) {
+		return fmt.Errorf("checkpoint fault injection %v, options say %v", m.HasFaults, opt.Faults != nil)
+	}
+	if m.HasFaults && m.FaultSeed != opt.Faults.Seed() {
+		return fmt.Errorf("checkpoint fault seed %d, schedule seed %d", m.FaultSeed, opt.Faults.Seed())
+	}
+	if m.Step < 0 {
+		return fmt.Errorf("checkpoint covers step %d", m.Step)
+	}
+	return nil
+}
+
+// restoreFromMeta rehydrates everything beyond the hierarchy: the
+// virtual clock, the recorder's persistent T(t) and δ, the DLB
+// context, all run counters, and the fault-layer bookkeeping. After
+// it, Run() continues at meta.Step+1 exactly as the original process
+// would have.
+func (r *Runner) restoreFromMeta(m *ckpt.Meta) error {
+	if err := r.clock.SetState(m.Clock); err != nil {
+		return err
+	}
+	r.startStep = m.Step + 1
+	r.resumed = true
+	r.intervalStart = m.IntervalStart
+	r.rec.SetIntervalTime(m.IntervalTime)
+	r.rec.SetDelta(m.Delta)
+	r.ctx.ForceEval = m.ForceEval
+	r.h.SetNextID(amr.GridID(m.NextGridID))
+	r.globalEvals = m.GlobalEvals
+	r.globalRedists = m.GlobalRedists
+	r.localMigs = m.LocalMigrations
+	r.maxCells = m.MaxCells
+	// The resume-time full ledger build replaces the original run's
+	// initial build in the campaign totals: reconcile so the reported
+	// events/rebuilds match the uninterrupted run's.
+	r.ledgerEvents = m.LedgerEvents - r.ledger.EventCount()
+	r.ledgerRebuilds = m.LedgerRebuilds - r.ledger.Rebuilds()
+	r.diskCkptWrites = m.DiskCheckpoints
+	r.diskCkptErrors = m.DiskCkptErrors
+	r.ckptAttempts = m.WriteAttempts
+	r.ckptFallbacks = m.CkptFallbacks
+	r.pristineResets = m.PristineResets
+	r.corruptGens = m.CorruptGens
+	if m.HasFaults {
+		r.lastFailCheck = m.LastFailCheck
+		r.wasQuar = m.WasQuarantined
+		for _, p := range m.FailedProcs {
+			r.failedSet[p] = true
+			r.sys.SetHealth(p, 0)
+		}
+		entries := make([]fault.ProbeSeqEntry, 0, len(m.ProbeSeq))
+		for _, e := range m.ProbeSeq {
+			entries = append(entries, fault.ProbeSeqEntry{A: e.A, B: e.B, N: e.N})
+		}
+		r.opt.Faults.RestoreProbeSeq(entries)
+		r.probeRetries = m.ProbeRetries
+		r.probeFallbacks = m.ProbeFallbacks
+		r.retryTime = m.RetryTime
+		r.quarSteps = m.QuarSteps
+		r.catchupEvals = m.CatchupEvals
+		r.recoveries = m.Recoveries
+		r.recoveryTime = m.RecoveryTime
+	}
+	// Particle populations live in the driver and advance once per
+	// level-0 step; replay them to the checkpointed step so positions
+	// (pure integration, no randomness) match the original run's.
+	if ps := r.driver.Particles(); ps != nil {
+		for i := 0; i <= m.Step; i++ {
+			ps.Step(r.dt0)
+		}
+	}
+	return nil
+}

@@ -44,6 +44,16 @@ const (
 	// GroupDisconnect cuts group Group off from every other group for
 	// [Start, End): all its inter-group links behave as down.
 	GroupDisconnect
+	// DiskTornWrite makes checkpoint writes inside [Start, End) land
+	// torn: the generation file appears complete but holds only a
+	// prefix (Factor is the surviving fraction in (0,1); 0 = 0.5).
+	DiskTornWrite
+	// DiskBitFlip flips one deterministically chosen bit of each
+	// checkpoint write inside [Start, End).
+	DiskBitFlip
+	// DiskWriteError makes checkpoint writes inside [Start, End) fail
+	// outright (a full disk or dying controller); nothing lands.
+	DiskWriteError
 )
 
 func (k Kind) String() string {
@@ -60,6 +70,12 @@ func (k Kind) String() string {
 		return "proc-fail"
 	case GroupDisconnect:
 		return "group-disconnect"
+	case DiskTornWrite:
+		return "disk-torn-write"
+	case DiskBitFlip:
+		return "disk-bit-flip"
+	case DiskWriteError:
+		return "disk-write-error"
 	default:
 		return "unknown"
 	}
@@ -98,6 +114,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("proc-fail proc=%d at=%g", e.Proc, e.Start)
 	case GroupDisconnect:
 		return fmt.Sprintf("group-disconnect group=%d start=%g end=%g", e.Group, e.Start, e.End)
+	case DiskTornWrite:
+		return fmt.Sprintf("disk-torn-write start=%g end=%g factor=%g", e.Start, e.End, e.Factor)
+	case DiskBitFlip:
+		return fmt.Sprintf("disk-bit-flip start=%g end=%g", e.Start, e.End)
+	case DiskWriteError:
+		return fmt.Sprintf("disk-write-error start=%g end=%g", e.Start, e.End)
 	default:
 		return fmt.Sprintf("unknown(%d)", int(e.Kind))
 	}
@@ -124,11 +146,17 @@ func (e Event) validate() error {
 		if e.Group < 0 {
 			return fmt.Errorf("%s: negative group %d", e.Kind, e.Group)
 		}
+	case DiskTornWrite, DiskBitFlip, DiskWriteError:
+		// Disk events target the checkpoint store as a whole; only the
+		// window (and, for torn writes, the surviving fraction) matter.
 	default:
 		return fmt.Errorf("unknown fault kind %d", int(e.Kind))
 	}
 	if e.Kind == LinkDegrade && e.Factor < 1 {
 		return fmt.Errorf("link-degrade: factor %g must be ≥ 1", e.Factor)
+	}
+	if e.Kind == DiskTornWrite && (e.Factor < 0 || e.Factor >= 1) {
+		return fmt.Errorf("disk-torn-write: surviving fraction %g must be in [0, 1)", e.Factor)
 	}
 	if e.Kind == ProcSlowdown && (e.Factor <= 0 || e.Factor > 1) {
 		return fmt.Errorf("proc-slow: factor %g must be in (0, 1]", e.Factor)
@@ -382,6 +410,114 @@ func (lf *LinkFault) Degrade(t float64) float64 { return lf.s.DegradeFactor(lf.a
 
 // DropProbe reports (and consumes) the fate of one probe message.
 func (lf *LinkFault) DropProbe(t float64) bool { return lf.s.DropProbe(lf.a, lf.b, t) }
+
+// diskKey salts the deterministic bit-flip position so it is
+// independent of the probe-loss hash stream.
+const diskKey = 0xd15cfa17
+
+// DiskFault binds the schedule to a checkpoint store. It satisfies
+// ckpt's DiskFault interface without an import in either direction.
+// Decisions are pure functions of (seed, script, write index, time),
+// so a resumed run that replays the same write sequence observes the
+// same corruption.
+type DiskFault struct{ s *Schedule }
+
+// ForDisk returns the disk-fault view of the schedule.
+func (s *Schedule) ForDisk() *DiskFault { return &DiskFault{s: s} }
+
+// WriteError reports whether the n-th checkpoint write at time t
+// fails outright.
+func (d *DiskFault) WriteError(n int, t float64) bool {
+	if d == nil || d.s == nil {
+		return false
+	}
+	for _, e := range d.s.events {
+		if e.Kind == DiskWriteError && e.in(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// TornWrite reports whether the n-th checkpoint write at time t lands
+// torn, and the fraction of bytes that survive.
+func (d *DiskFault) TornWrite(n int, t float64) (bool, float64) {
+	if d == nil || d.s == nil {
+		return false, 0
+	}
+	for _, e := range d.s.events {
+		if e.Kind == DiskTornWrite && e.in(t) {
+			frac := e.Factor
+			if frac == 0 {
+				frac = 0.5
+			}
+			return true, frac
+		}
+	}
+	return false, 0
+}
+
+// FlipBit reports whether one bit of the n-th checkpoint write at
+// time t is flipped, and a unit value selecting which bit.
+func (d *DiskFault) FlipBit(n int, t float64) (bool, float64) {
+	if d == nil || d.s == nil {
+		return false, 0
+	}
+	for _, e := range d.s.events {
+		if e.Kind == DiskBitFlip && e.in(t) {
+			return true, hashUnit(uint64(d.s.seed), diskKey, uint64(n))
+		}
+	}
+	return false, 0
+}
+
+// ProbeSeqEntry records one link pair's position in the deterministic
+// probe-drop sequence.
+type ProbeSeqEntry struct {
+	A, B int
+	N    uint64
+}
+
+// ProbeSeqSnapshot returns the per-pair probe-drop sequence positions
+// in (A, B) order, for checkpointing: restoring them into an
+// identically scripted schedule makes a resumed run observe the same
+// probe fates the uninterrupted run would have.
+func (s *Schedule) ProbeSeqSnapshot() []ProbeSeqEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ProbeSeqEntry, 0, len(s.probeSeq))
+	for k, n := range s.probeSeq {
+		out = append(out, ProbeSeqEntry{A: k[0], B: k[1], N: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// RestoreProbeSeq resets the probe-drop sequence positions from a
+// snapshot (any previous positions are discarded).
+func (s *Schedule) RestoreProbeSeq(entries []ProbeSeqEntry) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probeSeq = make(map[[2]int]uint64, len(entries))
+	for _, e := range entries {
+		a, b := e.A, e.B
+		if a > b {
+			a, b = b, a
+		}
+		s.probeSeq[[2]int{a, b}] = e.N
+	}
+}
 
 // hashUnit maps (seed, key, n) to a uniform float64 in [0, 1) with a
 // splitmix64-style mix — deterministic and platform-independent.

@@ -25,6 +25,8 @@ import (
 //	probe-loss between=0,1 start=1 end=4 prob=0.8
 //	link-outage between=0,1 start=5 end=9
 //	proc-fail proc=3 at=10.5
+//	# checkpoint writes in the window land torn (40% survives)
+//	disk-torn-write start=2 end=6 factor=0.4
 
 // ParseScript reads an event script. Errors name the offending line.
 func ParseScript(r io.Reader) ([]Event, error) {
@@ -75,6 +77,12 @@ func parseLine(line string) (Event, error) {
 		e.Kind = ProcFailure
 	case "group-disconnect":
 		e.Kind = GroupDisconnect
+	case "disk-torn-write":
+		e.Kind = DiskTornWrite
+	case "disk-bit-flip":
+		e.Kind = DiskBitFlip
+	case "disk-write-error":
+		e.Kind = DiskWriteError
 	default:
 		return e, fmt.Errorf("unknown event kind %q", fields[0])
 	}

@@ -62,6 +62,23 @@ type Result struct {
 	Recoveries       int
 	RecoveryTime     float64
 	FailedProcs      int
+
+	// Durable checkpoint outcome (all zero unless a checkpoint
+	// directory was configured).
+	//
+	// DiskCheckpoints counts on-disk generations written;
+	// DiskCheckpointErrors counts writes that failed (injected disk
+	// faults or real I/O errors). CheckpointFallbacks counts restores
+	// that could not use their first candidate (a corrupt in-memory
+	// blob or on-disk generation) and fell back; CorruptGenerations
+	// counts on-disk generations skipped as corrupt during those
+	// restores. PristineRestarts counts recoveries that exhausted
+	// every checkpoint and rebuilt from initial conditions.
+	DiskCheckpoints      int
+	DiskCheckpointErrors int
+	CheckpointFallbacks  int
+	CorruptGenerations   int
+	PristineRestarts     int
 }
 
 // Faulty reports whether the run observed any fault-layer activity.
@@ -83,7 +100,20 @@ func (r *Result) FaultSummary() string {
 	fmt.Fprintf(&b, "processor failures:       %d (recoveries %d, %.3fs lost+replayed)\n",
 		r.FailedProcs, r.Recoveries, r.RecoveryTime)
 	fmt.Fprintf(&b, "recovery phase time:      %.3fs\n", r.Breakdown[vclock.Recovery])
+	if r.CheckpointFallbacks > 0 || r.PristineRestarts > 0 {
+		fmt.Fprintf(&b, "checkpoint fallbacks:     %d (corrupt generations skipped %d, pristine restarts %d)\n",
+			r.CheckpointFallbacks, r.CorruptGenerations, r.PristineRestarts)
+	}
 	return b.String()
+}
+
+// CheckpointSummary renders the durable-checkpoint counters (empty
+// string when no store was configured and nothing fell back).
+func (r *Result) CheckpointSummary() string {
+	if r.DiskCheckpoints == 0 && r.DiskCheckpointErrors == 0 {
+		return ""
+	}
+	return fmt.Sprintf("durable checkpoints: %d written, %d failed", r.DiskCheckpoints, r.DiskCheckpointErrors)
 }
 
 // Compute returns the compute share of the breakdown.

@@ -35,6 +35,9 @@ const (
 	// Fault records a raw injected fault observed by the engine
 	// (processor failure, outage window edges).
 	Fault
+	// Checkpoint records a durable checkpoint generation written to
+	// (or failed against) the on-disk store.
+	Checkpoint
 )
 
 func (k Kind) String() string {
@@ -57,6 +60,8 @@ func (k Kind) String() string {
 		return "recovery"
 	case Fault:
 		return "fault"
+	case Checkpoint:
+		return "checkpoint"
 	default:
 		return "unknown"
 	}

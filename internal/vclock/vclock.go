@@ -126,6 +126,33 @@ func (c *Clock) Utilisation() float64 {
 // Breakdown returns a copy of the per-phase totals.
 func (c *Clock) Breakdown() [NumPhases]float64 { return c.byPhase }
 
+// State is a serializable snapshot of a clock, used by the durable
+// checkpoint store so a resumed run continues with exactly the
+// virtual time, phase breakdown and per-processor busy totals the
+// interrupted run had accumulated.
+type State struct {
+	Now     float64
+	ByPhase [NumPhases]float64
+	Busy    []float64
+}
+
+// State snapshots the clock.
+func (c *Clock) State() State {
+	return State{Now: c.now, ByPhase: c.byPhase, Busy: append([]float64(nil), c.busy...)}
+}
+
+// SetState restores a snapshot taken by State. The snapshot must
+// cover the same processor count the clock was built for.
+func (c *Clock) SetState(s State) error {
+	if len(s.Busy) != c.nproc {
+		return fmt.Errorf("vclock.SetState: snapshot covers %d processors, clock has %d", len(s.Busy), c.nproc)
+	}
+	c.now = s.Now
+	c.byPhase = s.ByPhase
+	copy(c.busy, s.Busy)
+	return nil
+}
+
 // CommTotal returns local plus remote communication time.
 func (c *Clock) CommTotal() float64 {
 	return c.byPhase[LocalComm] + c.byPhase[RemoteComm]
