@@ -576,3 +576,183 @@ func BenchmarkDecisionGlobalCheckRecompute(b *testing.B) {
 		}
 	}
 }
+
+// --- fast data path: cached ghost-exchange plans vs the O(grids²) scan ---
+//
+// Each pair measures one step-path operation once through the cached
+// data-motion plan (steady state: the plan is built before the timer
+// starts and reused, exactly as in a run between regrids) and once
+// through the original scan that rediscovered every overlap per step.
+
+// benchFillHierarchy builds a data-carrying level 0 of 512 grids
+// (64³ domain split 8×8×8) with a worker pool attached.
+func benchFillHierarchy(pool *solver.Pool) *amr.Hierarchy {
+	h := amr.New(geom.UnitCube(64), 2, 0, 1, true, "q")
+	if pool != nil {
+		h.SetPool(pool)
+	}
+	boxes := geom.BoxList{h.Domain}.SplitEvenly(512)
+	boxes.SortByLo()
+	for i, bx := range boxes {
+		g := h.AddGrid(0, bx, i%8, amr.NoGrid)
+		g.Patch.FillFunc("q", func(c geom.Index) float64 { return float64(c[0] + 64*c[1]) })
+	}
+	return h
+}
+
+// BenchmarkGhostFillPlanned measures the per-step ghost fill through
+// the cached plan, pool-parallel over destination grids.
+func BenchmarkGhostFillPlanned(b *testing.B) {
+	h := benchFillHierarchy(solver.NewPool(0))
+	h.FillGhostsData(0) // build the plan outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.FillGhostsData(0)
+	}
+}
+
+// BenchmarkGhostFillScan is the pre-plan baseline: every step
+// re-derives sibling overlaps by scanning all grid pairs.
+func BenchmarkGhostFillScan(b *testing.B) {
+	h := benchFillHierarchy(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.FillGhostsScan(0)
+	}
+}
+
+// benchRestrictHierarchy builds a two-level hierarchy: 64 coarse
+// grids, 512 fine grids tiling the whole refined domain.
+func benchRestrictHierarchy() *amr.Hierarchy {
+	h := amr.New(geom.UnitCube(64), 2, 1, 1, true, "q")
+	coarse := geom.BoxList{h.Domain}.SplitEvenly(64)
+	coarse.SortByLo()
+	for i, bx := range coarse {
+		g := h.AddGrid(0, bx, i%8, amr.NoGrid)
+		g.Patch.FillFunc("q", func(c geom.Index) float64 { return float64(c[2]) })
+	}
+	fine := geom.BoxList{h.Domain.Refine(2)}.SplitEvenly(512)
+	fine.SortByLo()
+	for i, bx := range fine {
+		var parent *amr.Grid
+		cb := bx.Coarsen(2)
+		for _, p := range h.Grids(0) {
+			if p.Box.ContainsBox(cb) {
+				parent = p
+				break
+			}
+		}
+		g := h.AddGrid(1, bx, i%8, parent.ID)
+		g.Patch.FillFunc("q", func(c geom.Index) float64 { return float64(c[0] - c[1]) })
+	}
+	return h
+}
+
+// BenchmarkRestrictPlanned measures fine→coarse restriction through
+// the cached grouped-by-parent plan.
+func BenchmarkRestrictPlanned(b *testing.B) {
+	h := benchRestrictHierarchy()
+	h.SetPool(solver.NewPool(0))
+	h.RestrictData(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.RestrictData(1)
+	}
+}
+
+// BenchmarkRestrictScan is the per-grid walk baseline.
+func BenchmarkRestrictScan(b *testing.B) {
+	h := benchRestrictHierarchy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.RestrictDataScan(1)
+	}
+}
+
+// --- kernel step: pooled scratch vs per-step allocation ---
+
+// BenchmarkKernelStepAdvection measures the rewritten upwind step
+// (explicit row loops, sync.Pool scratch) on a 32³ patch.
+func BenchmarkKernelStepAdvection(b *testing.B) {
+	p := grid.NewPatch(geom.UnitCube(32), 0, 1, solver.FieldQ)
+	p.FillFunc(solver.FieldQ, func(i geom.Index) float64 { return float64(i[0]) })
+	k := solver.Advection3D{Vel: [3]float64{1, 0.5, 0.25}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(p, 0.01, 1.0/32)
+	}
+}
+
+// BenchmarkKernelStepAdvectionReference is the original per-cell
+// closure implementation allocating its out-buffer every step.
+func BenchmarkKernelStepAdvectionReference(b *testing.B) {
+	p := grid.NewPatch(geom.UnitCube(32), 0, 1, solver.FieldQ)
+	p.FillFunc(solver.FieldQ, func(i geom.Index) float64 { return float64(i[0]) })
+	k := solver.Advection3D{Vel: [3]float64{1, 0.5, 0.25}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.StepReference(p, 0.01, 1.0/32)
+	}
+}
+
+// BenchmarkKernelStepBurgers measures the rewritten Godunov step with
+// pooled flux planes and scratch.
+func BenchmarkKernelStepBurgers(b *testing.B) {
+	p := grid.NewPatch(geom.UnitCube(32), 0, 1, solver.FieldQ)
+	p.FillFunc(solver.FieldQ, func(i geom.Index) float64 { return float64(i[0]%5) * 0.2 })
+	k := solver.Burgers3D{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(p, 0.01, 1.0/32)
+	}
+}
+
+// BenchmarkKernelStepBurgersReference allocates fresh flux planes and
+// out-buffer every step, as the original did.
+func BenchmarkKernelStepBurgersReference(b *testing.B) {
+	p := grid.NewPatch(geom.UnitCube(32), 0, 1, solver.FieldQ)
+	p.FillFunc(solver.FieldQ, func(i geom.Index) float64 { return float64(i[0]%5) * 0.2 })
+	k := solver.Burgers3D{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.StepReference(p, 0.01, 1.0/32)
+	}
+}
+
+// --- regrid: pool-parallel vs sequential child initialisation ---
+
+// benchRegrid runs one RegridAll of the shock driver on a fresh
+// data-carrying hierarchy per iteration.
+func benchRegrid(b *testing.B, pool *solver.Pool) {
+	s := workload.NewShockPool3D(32, 2)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := amr.New(geom.UnitCube(32), 2, 2, 1, true, "q")
+		if pool != nil {
+			h.SetPool(pool)
+		}
+		g := h.AddGrid(0, h.Domain, 0, amr.NoGrid)
+		g.Patch.FillFunc("q", func(c geom.Index) float64 { return float64(c[0] + c[1] + c[2]) })
+		b.StartTimer()
+		n := h.RegridAll(0, func(level int, f *cluster.FlagField) {
+			s.Flag(level, 0.3, f)
+		}, amr.DefaultRegridParams(), nil)
+		if n == 0 {
+			b.Fatal("regrid created nothing")
+		}
+	}
+}
+
+// BenchmarkRegridParallel initialises new children over all cores.
+func BenchmarkRegridParallel(b *testing.B) { benchRegrid(b, solver.NewPool(0)) }
+
+// BenchmarkRegridSequential is the one-goroutine baseline.
+func BenchmarkRegridSequential(b *testing.B) { benchRegrid(b, nil) }

@@ -56,6 +56,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		ledCheck = flag.Bool("ledgercheck", false, "verify the incremental load ledger against a full recomputation after every hierarchy mutation (slow; debug oracle)")
+		datCheck = flag.Bool("datacheck", false, "verify every planned ghost fill and restriction against the scan-based baseline, bit for bit (slow; debug oracle)")
 	)
 	flag.Parse()
 
@@ -161,6 +162,7 @@ func main() {
 		CheckpointDir:      *ckptDir,
 		CheckpointKeep:     *ckptKeep,
 		LedgerCheck:        *ledCheck,
+		DataCheck:          *datCheck,
 	}
 	if *stopAftr >= 0 {
 		// The durable generation for this boundary (if due) is written

@@ -38,26 +38,45 @@ type Message struct {
 	Kind     MsgKind
 }
 
-// planCache memoises a level's exchange plans against the hierarchy's
-// structural generation. Ownership changes do not invalidate it: the
-// plan is keyed by grid IDs and the engine resolves owners when it
-// charges the messages.
+// planCache memoises a level's exchange plans — the cost-model
+// message lists and the concrete data-motion plans — against the
+// hierarchy's structural generation. Ownership changes do not
+// invalidate it: the plans are keyed by grid identity and boxes; the
+// engine (and the mpx execution) resolves owners when it charges or
+// routes the messages. Each part is built lazily on first use.
 type planCache struct {
 	gen             uint64
+	msgBuilt        bool
 	ghost, restrict []Message
+
+	fillBuilt bool
+	fill      []fillDest
+	// restrictData is the grouped-by-parent restriction plan.
+	restrictBuilt bool
+	restrictData  []restrictDest
+}
+
+// planFor returns the level's cache entry, replacing a stale one.
+// Callers must hold planMu.
+func (h *Hierarchy) planFor(l int) *planCache {
+	c := h.plans[l]
+	if c == nil || c.gen != h.gen {
+		c = &planCache{gen: h.gen}
+		h.plans[l] = c
+	}
+	return c
 }
 
 // GhostPlanCached returns GhostPlan(l, false), memoised until the
 // grid structure changes. Callers must not mutate the returned slice.
 func (h *Hierarchy) GhostPlanCached(l int) []Message {
-	c := h.plans[l]
-	if c == nil || c.gen != h.gen {
-		c = &planCache{
-			gen:      h.gen,
-			ghost:    h.GhostPlan(l, false),
-			restrict: h.RestrictPlan(l, false),
-		}
-		h.plans[l] = c
+	h.planMu.Lock()
+	defer h.planMu.Unlock()
+	c := h.planFor(l)
+	if !c.msgBuilt {
+		c.ghost = h.GhostPlan(l, false)
+		c.restrict = h.RestrictPlan(l, false)
+		c.msgBuilt = true
 	}
 	return c.ghost
 }
@@ -66,6 +85,8 @@ func (h *Hierarchy) GhostPlanCached(l int) []Message {
 // the grid structure changes.
 func (h *Hierarchy) RestrictPlanCached(l int) []Message {
 	h.GhostPlanCached(l) // ensures the cache entry exists and is fresh
+	h.planMu.Lock()
+	defer h.planMu.Unlock()
 	return h.plans[l].restrict
 }
 
@@ -159,8 +180,27 @@ func (h *Hierarchy) RestrictPlan(l int, dropLocal bool) []Message {
 
 // FillGhostsData performs the actual data motion of GhostPlan on the
 // patches: copy sibling overlaps, prolong from the coarse level, and
-// clamp-extrapolate at the physical domain boundary.
+// clamp-extrapolate at the physical domain boundary. It executes the
+// cached data-motion plan (built once per hierarchy generation) in
+// parallel over the attached pool; with the datacheck oracle enabled
+// it additionally re-runs the scan-based baseline and panics on any
+// bitwise divergence.
 func (h *Hierarchy) FillGhostsData(l int) {
+	if !h.WithData {
+		return
+	}
+	plan := h.fillPlan(l)
+	if h.dataCheck {
+		h.fillGhostsChecked(l, plan)
+		return
+	}
+	h.execFillPlan(plan)
+}
+
+// FillGhostsScan is the original O(grids²) scan-based ghost fill,
+// kept as the datacheck baseline and for benchmarks. It produces
+// exactly the same data as FillGhostsData.
+func (h *Hierarchy) FillGhostsScan(l int) {
 	if !h.WithData {
 		return
 	}
@@ -214,8 +254,25 @@ func (h *Hierarchy) FillGhostsData(l int) {
 }
 
 // RestrictData projects every level-l grid's solution onto its parent
-// patch (the data motion of RestrictPlan).
+// patch (the data motion of RestrictPlan), executing the cached
+// restriction plan grouped by parent — in parallel over the attached
+// pool — and verifying against the scan baseline when the datacheck
+// oracle is on.
 func (h *Hierarchy) RestrictData(l int) {
+	if !h.WithData || l <= 0 {
+		return
+	}
+	plan := h.restrictDataPlan(l)
+	if h.dataCheck {
+		h.restrictChecked(l, plan)
+		return
+	}
+	h.execRestrictPlan(plan)
+}
+
+// RestrictDataScan is the original per-grid restriction walk, kept as
+// the datacheck baseline and for benchmarks.
+func (h *Hierarchy) RestrictDataScan(l int) {
 	if !h.WithData || l <= 0 {
 		return
 	}

@@ -14,10 +14,12 @@ package amr
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"samrdlb/internal/cluster"
 	"samrdlb/internal/geom"
 	"samrdlb/internal/grid"
+	"samrdlb/internal/solver"
 )
 
 // GridID identifies a grid uniquely within a hierarchy for its whole
@@ -95,9 +97,31 @@ type Hierarchy struct {
 	// affect box overlap structure.
 	gen   uint64
 	plans map[int]*planCache
+	// planMu guards the plan cache: mpx ranks build plans lazily from
+	// concurrent goroutines. Execution reads the immutable plan after
+	// the lock is released.
+	planMu sync.Mutex
+
+	// pool, when set, executes the cached fill/restrict/regrid data
+	// motion in parallel (safe: the plans partition writes by
+	// destination patch).
+	pool *solver.Pool
+	// dataCheck re-runs every planned fill/restrict against the
+	// scan-based baseline and panics on bitwise divergence (the
+	// -datacheck oracle).
+	dataCheck bool
 
 	listener Listener
 }
+
+// SetPool attaches a worker pool for parallel execution of the data
+// motion plans (nil reverts to sequential execution).
+func (h *Hierarchy) SetPool(p *solver.Pool) { h.pool = p }
+
+// SetDataCheck toggles the planned-vs-scan byte-identity oracle.
+// Every FillGhostsData and RestrictData then does the data motion
+// twice and compares — for tests and -datacheck runs only.
+func (h *Hierarchy) SetDataCheck(on bool) { h.dataCheck = on }
 
 // SetListener subscribes l to the hierarchy's mutation events (nil
 // unsubscribes). Only one listener is supported; the engine installs

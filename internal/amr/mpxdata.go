@@ -14,16 +14,17 @@ import (
 // buffers), so the exchange is genuinely parallel. Grid owners are
 // interpreted as rank IDs.
 //
-// All ranks traverse the same deterministic transfer plan; the plan
-// position is the message tag. Every send is posted before any
-// receive within a phase, so the pattern cannot deadlock.
+// All ranks traverse the same deterministic transfer plan — the
+// cached data-motion plan, built lazily under the hierarchy's plan
+// mutex and shared by every rank; the plan position is the message
+// tag. Every send is posted before any receive within a phase, so
+// the pattern cannot deadlock.
 func (h *Hierarchy) FillGhostsMPX(r *mpx.Rank, level int) {
 	if !h.WithData {
 		return
 	}
 	me := r.ID()
-	dom := h.DomainAt(level)
-	grids := h.Grids(level)
+	plan := h.fillPlan(level)
 
 	// Phase A: prolongation of ghost cells from the coarse level.
 	if level > 0 {
@@ -34,24 +35,19 @@ func (h *Hierarchy) FillGhostsMPX(r *mpx.Rank, level int) {
 		}
 		var xfers []prolongXfer
 		tag := 0
-		for _, g := range grids {
-			grown := g.Patch.Grown()
-			ghost := geom.Subtract(grown, g.Box)
-			for _, c := range h.Grids(level - 1) {
-				refined := c.Box.Refine(h.RefFactor)
-				for _, gb := range ghost {
-					region := gb.Intersect(refined)
-					if region.Empty() {
-						continue
-					}
-					xfers = append(xfers, prolongXfer{
-						g: g, c: c,
-						region: region,
-						coarse: region.Coarsen(h.RefFactor),
-						tag:    tag,
-					})
-					tag++
+		for i := range plan {
+			d := &plan[i]
+			for _, op := range d.ops {
+				if !op.prolong {
+					continue
 				}
+				xfers = append(xfers, prolongXfer{
+					g: d.g, c: op.src,
+					region: op.region,
+					coarse: op.region.Coarsen(h.RefFactor),
+					tag:    tag,
+				})
+				tag++
 			}
 		}
 		for _, x := range xfers { // sends (and same-rank work) first
@@ -86,17 +82,13 @@ func (h *Hierarchy) FillGhostsMPX(r *mpx.Rank, level int) {
 	}
 	var xfers []siblingXfer
 	tag := 1 << 20 // disjoint from phase-A tags
-	for _, g := range grids {
-		grown := g.Patch.Grown()
-		for _, s := range grids {
-			if s.ID == g.ID {
+	for i := range plan {
+		d := &plan[i]
+		for _, op := range d.ops {
+			if op.prolong {
 				continue
 			}
-			region := grown.Intersect(s.Box)
-			if region.Empty() {
-				continue
-			}
-			xfers = append(xfers, siblingXfer{dst: g, src: s, region: region, tag: tag})
+			xfers = append(xfers, siblingXfer{dst: d.g, src: op.src, region: op.region, tag: tag})
 			tag++
 		}
 	}
@@ -118,33 +110,32 @@ func (h *Hierarchy) FillGhostsMPX(r *mpx.Rank, level int) {
 	}
 	r.Barrier()
 
-	// Phase C: physical-boundary clamp, purely local to each owner.
-	for _, g := range grids {
-		if g.Owner != me {
+	// Phase C: physical-boundary clamp, purely local to each owner,
+	// row-wise over the plan's precomputed outside-domain boxes.
+	for i := range plan {
+		d := &plan[i]
+		if d.g.Owner != me {
 			continue
 		}
-		grown := g.Patch.Grown()
-		grown.ForEach(func(i geom.Index) {
-			if dom.Contains(i) {
-				return
-			}
-			src := i.Max(dom.Lo).Min(dom.Hi).Max(g.Box.Lo).Min(g.Box.Hi)
+		for _, cb := range d.clamps {
 			for _, f := range h.Fields {
-				g.Patch.Set(f, i, g.Patch.At(f, src))
+				grid.ClampRegion(d.g.Patch, f, cb, d.g.Box)
 			}
-		})
+		}
 	}
 	r.Barrier()
 }
 
 // RestrictMPX performs RestrictData's motion through the world: each
 // fine grid's owner restricts into a temporary coarse patch and ships
-// it to the parent's owner.
+// it to the parent's owner. The transfer list derives from the cached
+// restriction plan; tags follow plan order on every rank.
 func (h *Hierarchy) RestrictMPX(r *mpx.Rank, level int) {
 	if !h.WithData || level <= 0 {
 		return
 	}
 	me := r.ID()
+	plan := h.restrictDataPlan(level)
 	type xfer struct {
 		g, p   *Grid
 		coarse geom.Box
@@ -152,13 +143,12 @@ func (h *Hierarchy) RestrictMPX(r *mpx.Rank, level int) {
 	}
 	var xfers []xfer
 	tag := 0
-	for _, g := range h.Grids(level) {
-		p := h.Grid(g.Parent)
-		if p == nil || p.Patch == nil {
-			continue
+	for i := range plan {
+		d := &plan[i]
+		for _, g := range d.fines {
+			xfers = append(xfers, xfer{g: g, p: d.parent, coarse: g.Box.Coarsen(h.RefFactor), tag: tag})
+			tag++
 		}
-		xfers = append(xfers, xfer{g: g, p: p, coarse: g.Box.Coarsen(h.RefFactor), tag: tag})
-		tag++
 	}
 	for _, x := range xfers {
 		switch {

@@ -67,6 +67,12 @@ func (h *Hierarchy) RegridAll(base int, flag Flagger, p RegridParams, place Plac
 		buffered := bufferFlags(f, p.Buffer)
 		boxes := cluster.Cluster(buffered, p.Cluster)
 		madeAny := false
+		// Children are created sequentially (AddGrid mutates the
+		// hierarchy) but their data is initialised afterwards in one
+		// parallel batch: each init writes only its own child's patch
+		// and reads only coarse and old same-level patches, none of
+		// which a sibling init writes.
+		var pending []*Grid
 		for _, parent := range h.Grids(l) {
 			var pieces geom.BoxList
 			for _, b := range boxes {
@@ -88,7 +94,19 @@ func (h *Hierarchy) RegridAll(base int, flag Flagger, p RegridParams, place Plac
 				created++
 				madeAny = true
 				if h.WithData {
-					h.initChildData(child, parent, old[l+1])
+					pending = append(pending, child)
+				}
+			}
+		}
+		if len(pending) > 0 {
+			oldL := old[l+1]
+			if h.pool != nil && h.pool.Workers() > 1 && len(pending) > 1 {
+				h.pool.ForEach(len(pending), func(i int) {
+					h.initChildData(pending[i], oldL)
+				})
+			} else {
+				for _, child := range pending {
+					h.initChildData(child, oldL)
 				}
 			}
 		}
@@ -103,9 +121,11 @@ func (h *Hierarchy) RegridAll(base int, flag Flagger, p RegridParams, place Plac
 // initChildData fills a new child grid by prolongation from every
 // overlapping coarse grid, then copies old same-level data where it
 // exists (the old solution is more accurate than prolonged data).
-func (h *Hierarchy) initChildData(child, parent *Grid, oldSameLevel []*Grid) {
+// Safe to run concurrently for distinct children: it writes only the
+// child's own patch.
+func (h *Hierarchy) initChildData(child *Grid, oldSameLevel []*Grid) {
 	grown := child.Patch.Grown()
-	for _, coarse := range h.Grids(parent.Level) {
+	for _, coarse := range h.Grids(child.Level - 1) {
 		if coarse.Patch == nil {
 			continue
 		}

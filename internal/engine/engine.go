@@ -126,6 +126,11 @@ type Options struct {
 	// decision. Turns O(changes) bookkeeping into O(grids) per event —
 	// for tests and -ledgercheck runs only.
 	LedgerCheck bool
+	// DataCheck enables the data-motion debug oracle: every planned
+	// ghost fill and restriction is re-run through the scan-based
+	// baseline and compared bitwise (panic on divergence). Roughly
+	// doubles the data-path cost — for tests and -datacheck runs only.
+	DataCheck bool
 }
 
 func (o *Options) setDefaults() {
@@ -237,6 +242,31 @@ type Runner struct {
 	// replaced (recovery), and full rebuilds performed.
 	ledgerEvents   uint64
 	ledgerRebuilds int
+
+	// Per-step scratch, reused across calls so the hot loop makes no
+	// allocations: advanceLevel's per-processor accumulators, the
+	// message/migration charging buffers, and the flux collection
+	// slice. The engine loop is single-threaded (vclock.AddPhase
+	// copies values immediately), so plain reuse is safe.
+	perProcBuf, workBuf   []float64
+	commLocal, commRemote []float64
+	pairBytes             map[commPair]int64
+	pairList              []commPair
+	fluxesBuf             []*solver.Fluxes
+}
+
+// commPair keys the per-(src,dst) aggregation of chargeMessages.
+type commPair struct{ src, dst int }
+
+// procScratch returns a zeroed length-n slice backed by the given
+// reusable buffer (grown once, then recycled every call).
+func procScratch(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	s := (*buf)[:n]
+	clear(s)
+	return s
 }
 
 // New prepares a runner. The hierarchy is initialised with a level-0
@@ -267,6 +297,11 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 	} else {
 		r.h = amr.New(geom.UnitCube(n0), r.refFactor, opt.MaxLevel, opt.NGhost, opt.WithData, driver.Fields()...)
 	}
+	// The hierarchy executes its cached data-motion plans over the
+	// host pool; the oracle flag flows down with it (covers both the
+	// fresh and the Resume hierarchy).
+	r.h.SetPool(opt.Pool)
+	r.h.SetDataCheck(opt.DataCheck)
 	// The ledger attaches before the initial decomposition so every
 	// grid creation flows through it as an event; on Resume the
 	// constructor's full build (parallel over the pool) picks up the
@@ -626,6 +661,8 @@ func (r *Runner) recoverFromCheckpoint() int {
 		h, step, simT, ckClock, pristine = r.recoverFallback(now)
 	}
 	lost := now - ckClock
+	h.SetPool(r.opt.Pool)
+	h.SetDataCheck(r.opt.DataCheck)
 	r.h = h
 	r.ctx.H = h
 	r.t = simT
@@ -794,7 +831,13 @@ func (r *Runner) advanceLevel(level int) {
 			r.h.FillGhostsData(level)
 			var fluxes []*solver.Fluxes
 			if r.fluxRegs != nil {
-				fluxes = make([]*solver.Fluxes, len(grids))
+				if cap(r.fluxesBuf) < len(grids) {
+					r.fluxesBuf = make([]*solver.Fluxes, len(grids))
+				}
+				fluxes = r.fluxesBuf[:len(grids)]
+				for i := range fluxes {
+					fluxes[i] = nil
+				}
 			}
 			stepGrid := func(i int) {
 				for _, k := range r.kernels {
@@ -815,7 +858,8 @@ func (r *Runner) advanceLevel(level int) {
 				}
 			}
 			// Feed the flux registers sequentially in grid order so
-			// accumulation is deterministic.
+			// accumulation is deterministic; the registers copy the
+			// values out, so the fluxes go straight back to the pool.
 			if fluxes != nil {
 				for i, g := range grids {
 					if fluxes[i] == nil {
@@ -827,6 +871,8 @@ func (r *Runner) advanceLevel(level int) {
 					if r.fluxRegs[level] != nil {
 						r.fluxRegs[level].AddFine(g, fluxes[i])
 					}
+					fluxes[i].Release()
+					fluxes[i] = nil
 				}
 			}
 		}
@@ -834,9 +880,10 @@ func (r *Runner) advanceLevel(level int) {
 
 	// Virtual compute time and workload snapshot: the per-processor
 	// cell counts come from the ledger in O(procs) instead of a walk
-	// over the level's grids.
-	perProc := make([]float64, r.sys.NumProcs())
-	work := make([]float64, r.sys.NumProcs())
+	// over the level's grids. Accumulators live on reused Runner
+	// scratch (AddPhase copies them out immediately).
+	perProc := procScratch(&r.perProcBuf, r.sys.NumProcs())
+	work := procScratch(&r.workBuf, r.sys.NumProcs())
 	for p := range work {
 		work[p] = r.ledger.ProcCells(level, p) * r.flopsPerCell
 	}
@@ -903,21 +950,26 @@ func (r *Runner) chargeMessages(msgs []amr.Message, localPhase, remotePhase vclo
 	if len(msgs) == 0 {
 		return
 	}
-	type pair struct{ src, dst int }
-	bytesBy := make(map[pair]int64)
-	var pairs []pair
+	if r.pairBytes == nil {
+		r.pairBytes = make(map[commPair]int64)
+	} else {
+		clear(r.pairBytes)
+	}
+	bytesBy := r.pairBytes
+	pairs := r.pairList[:0]
 	for _, m := range msgs {
 		src := r.h.Grid(m.Src).Owner
 		dst := r.h.Grid(m.Dst).Owner
 		if src == dst {
 			continue
 		}
-		key := pair{src, dst}
+		key := commPair{src, dst}
 		if _, seen := bytesBy[key]; !seen {
 			pairs = append(pairs, key)
 		}
 		bytesBy[key] += m.Bytes
 	}
+	r.pairList = pairs
 	// Deterministic accumulation order: the per-processor float sums
 	// (and hence every downstream DLB decision) depend on it.
 	sort.Slice(pairs, func(i, j int) bool {
@@ -926,8 +978,8 @@ func (r *Runner) chargeMessages(msgs []amr.Message, localPhase, remotePhase vclo
 		}
 		return pairs[i].dst < pairs[j].dst
 	})
-	local := make([]float64, r.sys.NumProcs())
-	remote := make([]float64, r.sys.NumProcs())
+	local := procScratch(&r.commLocal, r.sys.NumProcs())
+	remote := procScratch(&r.commRemote, r.sys.NumProcs())
 	now := r.clock.Now()
 	anyLocal, anyRemote := false, false
 	for _, pr := range pairs {
@@ -961,8 +1013,8 @@ func (r *Runner) chargeMigrations(migs []dlb.Migration, localPhase, remotePhase 
 	if len(migs) == 0 {
 		return
 	}
-	local := make([]float64, r.sys.NumProcs())
-	remote := make([]float64, r.sys.NumProcs())
+	local := procScratch(&r.commLocal, r.sys.NumProcs())
+	remote := procScratch(&r.commRemote, r.sys.NumProcs())
 	now := r.clock.Now()
 	anyLocal, anyRemote := false, false
 	for _, m := range migs {

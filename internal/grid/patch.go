@@ -173,7 +173,8 @@ func (p *Patch) Bytes() int64 {
 // CopyRegion copies the named field over region (in level index space)
 // from src to dst. The region is clipped to both patches' grown boxes,
 // so callers may pass the nominal overlap and let clipping handle
-// ghosts. Both patches must be on the same level.
+// ghosts. Both patches must be on the same level. Rows are moved with
+// copy() — this is the hot operation of the ghost-exchange plan.
 func CopyRegion(dst, src *Patch, name string, region geom.Box) {
 	if dst.Level != src.Level {
 		panic("grid.CopyRegion: level mismatch")
@@ -184,14 +185,78 @@ func CopyRegion(dst, src *Patch, name string, region geom.Box) {
 	}
 	df, sf := dst.Field(name), src.Field(name)
 	dg, sg := dst.Grown(), src.Grown()
-	r.ForEach(func(i geom.Index) {
-		df[dg.Offset(i)] = sf[sg.Offset(i)]
-	})
+	n := r.Hi[0] - r.Lo[0] + 1
+	for z := r.Lo[2]; z <= r.Hi[2]; z++ {
+		for y := r.Lo[1]; y <= r.Hi[1]; y++ {
+			do := dg.Offset(geom.Index{r.Lo[0], y, z})
+			so := sg.Offset(geom.Index{r.Lo[0], y, z})
+			copy(df[do:do+n], sf[so:so+n])
+		}
+	}
+}
+
+// ClampRegion fills the named field over region by copying, for every
+// cell, the value at the cell's per-component clamp into the src box —
+// the outflow (nearest-interior) boundary condition. Each row splits
+// into at most three segments: a constant run left of src, a straight
+// copy of the clamped source row, and a constant run right of src.
+// The region is clipped to the patch's grown box; src must be inside
+// it.
+func ClampRegion(p *Patch, name string, region, src geom.Box) {
+	g := p.Grown()
+	reg := region.Intersect(g)
+	if reg.Empty() {
+		return
+	}
+	f := p.Field(name)
+	for z := reg.Lo[2]; z <= reg.Hi[2]; z++ {
+		sz := clampInt(z, src.Lo[2], src.Hi[2])
+		for y := reg.Lo[1]; y <= reg.Hi[1]; y++ {
+			sy := clampInt(y, src.Lo[1], src.Hi[1])
+			do := g.Offset(geom.Index{reg.Lo[0], y, z})
+			// Left of src: constant value of src's low-x column.
+			if x1 := min(reg.Hi[0], src.Lo[0]-1); x1 >= reg.Lo[0] {
+				v := f[g.Offset(geom.Index{src.Lo[0], sy, sz})]
+				for x := reg.Lo[0]; x <= x1; x++ {
+					f[do] = v
+					do++
+				}
+			}
+			// Inside src's x-range: copy the clamped row.
+			m0, m1 := max(reg.Lo[0], src.Lo[0]), min(reg.Hi[0], src.Hi[0])
+			if m0 <= m1 {
+				so := g.Offset(geom.Index{m0, sy, sz})
+				n := m1 - m0 + 1
+				copy(f[do:do+n], f[so:so+n])
+				do += n
+			}
+			// Right of src: constant value of src's high-x column.
+			if x0 := max(reg.Lo[0], src.Hi[0]+1); x0 <= reg.Hi[0] {
+				v := f[g.Offset(geom.Index{src.Hi[0], sy, sz})]
+				for x := x0; x <= reg.Hi[0]; x++ {
+					f[do] = v
+					do++
+				}
+			}
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // Restrict averages the fine patch's field over each coarse cell of
 // the overlap and stores it into the coarse patch. The refinement
-// factor r relates the two levels (fine.Level = coarse.Level+1).
+// factor r relates the two levels (fine.Level = coarse.Level+1). The
+// loops are explicit but accumulate in exactly the closure-based
+// original's order, so results are bit-identical to it.
 func Restrict(coarse, fine *Patch, name string, r int) {
 	if fine.Level != coarse.Level+1 {
 		panic("grid.Restrict: fine must be exactly one level finer")
@@ -203,38 +268,81 @@ func Restrict(coarse, fine *Patch, name string, r int) {
 	cf, ff := coarse.Field(name), fine.Field(name)
 	cg, fg := coarse.Grown(), fine.Grown()
 	inv := 1.0 / float64(r*r*r)
-	overlap.ForEach(func(c geom.Index) {
-		fineBlock := geom.Box{Lo: c.Scale(r), Hi: c.Scale(r).Add(geom.Index{r - 1, r - 1, r - 1})}
-		fineBlock = fineBlock.Intersect(fine.Box)
-		var s float64
-		fineBlock.ForEach(func(f geom.Index) {
-			s += ff[fg.Offset(f)]
-		})
-		cf[cg.Offset(c)] = s * inv * float64(r*r*r) / float64(fineBlock.NumCells())
-	})
+	r3 := float64(r * r * r)
+	for cz := overlap.Lo[2]; cz <= overlap.Hi[2]; cz++ {
+		for cy := overlap.Lo[1]; cy <= overlap.Hi[1]; cy++ {
+			co := cg.Offset(geom.Index{overlap.Lo[0], cy, cz})
+			for cx := overlap.Lo[0]; cx <= overlap.Hi[0]; cx++ {
+				fb := geom.Box{
+					Lo: geom.Index{cx * r, cy * r, cz * r},
+					Hi: geom.Index{cx*r + r - 1, cy*r + r - 1, cz*r + r - 1},
+				}.Intersect(fine.Box)
+				n := fb.Hi[0] - fb.Lo[0] + 1
+				var s float64
+				for fz := fb.Lo[2]; fz <= fb.Hi[2]; fz++ {
+					for fy := fb.Lo[1]; fy <= fb.Hi[1]; fy++ {
+						fo := fg.Offset(geom.Index{fb.Lo[0], fy, fz})
+						for i := 0; i < n; i++ {
+							s += ff[fo]
+							fo++
+						}
+					}
+				}
+				cf[co] = s * inv * r3 / float64(fb.NumCells())
+				co++
+			}
+		}
+	}
 }
 
 // Prolong fills the fine patch's field over region (fine index space)
 // by piecewise-constant injection from the coarse patch. Used to
 // initialise newly created fine grids and to fill fine ghost cells
-// that have no same-level neighbour.
+// that have no same-level neighbour. Fine cells whose coarse parent
+// falls outside the coarse patch's grown box are left untouched
+// (handled by clipping the region to the coarse footprint up front,
+// so the row loops need no per-cell containment check).
 func Prolong(fine, coarse *Patch, name string, r int, region geom.Box) {
 	if fine.Level != coarse.Level+1 {
 		panic("grid.Prolong: fine must be exactly one level finer")
 	}
-	reg := region.Intersect(fine.Grown())
+	cg, fg := coarse.Grown(), fine.Grown()
+	// f.FloorDiv(r) ∈ cg  ⟺  f ∈ cg.Refine(r), so the clip below is
+	// exactly the original per-cell cg.Contains test.
+	reg := region.Intersect(fg).Intersect(cg.Refine(r))
 	if reg.Empty() {
 		return
 	}
 	cf, ff := coarse.Field(name), fine.Field(name)
-	cg, fg := coarse.Grown(), fine.Grown()
-	reg.ForEach(func(f geom.Index) {
-		c := f.FloorDiv(r)
-		if !cg.Contains(c) {
-			return
+	for fz := reg.Lo[2]; fz <= reg.Hi[2]; fz++ {
+		cz := floorDiv(fz, r)
+		for fy := reg.Lo[1]; fy <= reg.Hi[1]; fy++ {
+			cy := floorDiv(fy, r)
+			fo := fg.Offset(geom.Index{reg.Lo[0], fy, fz})
+			cx := floorDiv(reg.Lo[0], r)
+			co := cg.Offset(geom.Index{cx, cy, cz})
+			rem := reg.Lo[0] - cx*r // position within the coarse cell, in [0,r)
+			for fx := reg.Lo[0]; fx <= reg.Hi[0]; fx++ {
+				ff[fo] = cf[co]
+				fo++
+				rem++
+				if rem == r {
+					rem = 0
+					co++
+				}
+			}
 		}
-		ff[fg.Offset(f)] = cf[cg.Offset(c)]
-	})
+	}
+}
+
+// floorDiv is floored integer division for positive divisors (ghost
+// indices can be negative).
+func floorDiv(a, r int) int {
+	q := a / r
+	if a%r != 0 && a < 0 {
+		q--
+	}
+	return q
 }
 
 // ProlongLinear fills the fine patch's field over region (fine index

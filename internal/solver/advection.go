@@ -23,7 +23,7 @@ type Advection3D struct {
 func (a Advection3D) Name() string { return "advection3d-upwind" }
 
 // Fields implements Kernel.
-func (a Advection3D) Fields() []string { return []string{FieldQ} }
+func (a Advection3D) Fields() []string { return qFields }
 
 // FlopsPerCell implements Kernel: 3 dims × (1 upwind select + 2 mul +
 // 2 add) ≈ 15, plus the update ≈ 18 flops.
@@ -34,9 +34,48 @@ func (a Advection3D) MaxSpeed() float64 {
 	return math.Abs(a.Vel[0]) + math.Abs(a.Vel[1]) + math.Abs(a.Vel[2])
 }
 
-// Step implements Kernel. Requires NGhost >= 1.
+// Step implements Kernel. Requires NGhost >= 1. The sweep is written
+// as explicit row loops over borrowed scratch (no per-step allocation,
+// no per-cell closure); it is bit-identical to StepReference.
 func (a Advection3D) Step(p *grid.Patch, dt, dx float64) {
-	checkFields(p, a)
+	checkFieldList(p, a.Name(), qFields)
+	if p.NGhost < 1 {
+		panic("solver.Advection3D: needs at least one ghost cell")
+	}
+	q := p.Field(FieldQ)
+	g := p.Grown()
+	s := g.Shape()
+	stride := [3]int{1, s[0], s[0] * s[1]}
+	lam := dt / dx
+	b := p.Box
+	sp := getScratch(len(q))
+	out := *sp
+	for z := b.Lo[2]; z <= b.Hi[2]; z++ {
+		for y := b.Lo[1]; y <= b.Hi[1]; y++ {
+			off := g.Offset(geom.Index{b.Lo[0], y, z})
+			for x := b.Lo[0]; x <= b.Hi[0]; x++ {
+				du := 0.0
+				for d := 0; d < 3; d++ {
+					v := a.Vel[d]
+					if v >= 0 {
+						du -= v * lam * (q[off] - q[off-stride[d]])
+					} else {
+						du -= v * lam * (q[off+stride[d]] - q[off])
+					}
+				}
+				out[off] = q[off] + du
+				off++
+			}
+		}
+	}
+	copyInterior(q, out, g, b)
+	putScratch(sp)
+}
+
+// StepReference is the original closure-based Step, kept verbatim as
+// the bit-exactness baseline for tests and benchmarks.
+func (a Advection3D) StepReference(p *grid.Patch, dt, dx float64) {
+	checkFieldList(p, a.Name(), qFields)
 	if p.NGhost < 1 {
 		panic("solver.Advection3D: needs at least one ghost cell")
 	}
@@ -75,7 +114,7 @@ type LaxFriedrichs3D struct {
 func (l LaxFriedrichs3D) Name() string { return "lax-friedrichs3d" }
 
 // Fields implements Kernel.
-func (l LaxFriedrichs3D) Fields() []string { return []string{FieldQ} }
+func (l LaxFriedrichs3D) Fields() []string { return qFields }
 
 // FlopsPerCell implements Kernel.
 func (l LaxFriedrichs3D) FlopsPerCell() float64 { return 24 }
@@ -85,9 +124,45 @@ func (l LaxFriedrichs3D) MaxSpeed() float64 {
 	return math.Abs(l.Vel[0]) + math.Abs(l.Vel[1]) + math.Abs(l.Vel[2])
 }
 
-// Step implements Kernel. Requires NGhost >= 1.
+// Step implements Kernel. Requires NGhost >= 1. Explicit row loops
+// over borrowed scratch, bit-identical to StepReference.
 func (l LaxFriedrichs3D) Step(p *grid.Patch, dt, dx float64) {
-	checkFields(p, l)
+	checkFieldList(p, l.Name(), qFields)
+	if p.NGhost < 1 {
+		panic("solver.LaxFriedrichs3D: needs at least one ghost cell")
+	}
+	q := p.Field(FieldQ)
+	g := p.Grown()
+	s := g.Shape()
+	stride := [3]int{1, s[0], s[0] * s[1]}
+	lam := dt / dx
+	b := p.Box
+	sp := getScratch(len(q))
+	out := *sp
+	for z := b.Lo[2]; z <= b.Hi[2]; z++ {
+		for y := b.Lo[1]; y <= b.Hi[1]; y++ {
+			off := g.Offset(geom.Index{b.Lo[0], y, z})
+			for x := b.Lo[0]; x <= b.Hi[0]; x++ {
+				avg := 0.0
+				flux := 0.0
+				for d := 0; d < 3; d++ {
+					qm, qp := q[off-stride[d]], q[off+stride[d]]
+					avg += qm + qp
+					flux += l.Vel[d] * lam * (qp - qm)
+				}
+				out[off] = avg/6.0 - 0.5*flux
+				off++
+			}
+		}
+	}
+	copyInterior(q, out, g, b)
+	putScratch(sp)
+}
+
+// StepReference is the original closure-based Step, kept verbatim as
+// the bit-exactness baseline for tests and benchmarks.
+func (l LaxFriedrichs3D) StepReference(p *grid.Patch, dt, dx float64) {
+	checkFieldList(p, l.Name(), qFields)
 	if p.NGhost < 1 {
 		panic("solver.LaxFriedrichs3D: needs at least one ghost cell")
 	}

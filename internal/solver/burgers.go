@@ -16,7 +16,7 @@ type Burgers3D struct{}
 func (Burgers3D) Name() string { return "burgers3d-godunov" }
 
 // Fields implements Kernel.
-func (Burgers3D) Fields() []string { return []string{FieldQ} }
+func (Burgers3D) Fields() []string { return qFields }
 
 // FlopsPerCell implements Kernel: 3 dims × (2 flux evaluations with
 // min/max logic ≈ 8 flops) + update.
@@ -46,14 +46,17 @@ func godunovFlux(ql, qr float64) float64 {
 	return fb
 }
 
-// Step implements Kernel. Requires NGhost >= 1.
+// Step implements Kernel. Requires NGhost >= 1. Callers that do not
+// need the fluxes go through here so the Fluxes object returns to the
+// reuse pool immediately.
 func (k Burgers3D) Step(p *grid.Patch, dt, dx float64) {
-	k.StepFluxes(p, dt, dx)
+	k.StepFluxes(p, dt, dx).Release()
 }
 
-// StepFluxes implements FluxedKernel.
+// StepFluxes implements FluxedKernel. Explicit row loops over pooled
+// fluxes and borrowed scratch, bit-identical to StepReference.
 func (k Burgers3D) StepFluxes(p *grid.Patch, dt, dx float64) *Fluxes {
-	checkFields(p, k)
+	checkFieldList(p, k.Name(), qFields)
 	if p.NGhost < 1 {
 		panic("solver.Burgers3D: needs at least one ghost cell")
 	}
@@ -63,6 +66,38 @@ func (k Burgers3D) StepFluxes(p *grid.Patch, dt, dx float64) *Fluxes {
 	stride := [3]int{1, s[0], s[0] * s[1]}
 	lam := dt / dx
 	fl := NewFluxes(p.Box)
+	for d := 0; d < 3; d++ {
+		fb := fl.faceBox[d]
+		fo := 0
+		for z := fb.Lo[2]; z <= fb.Hi[2]; z++ {
+			for y := fb.Lo[1]; y <= fb.Hi[1]; y++ {
+				off := g.Offset(geom.Index{fb.Lo[0], y, z})
+				for x := fb.Lo[0]; x <= fb.Hi[0]; x++ {
+					fl.f[d][fo] = lam * godunovFlux(q[off-stride[d]], q[off])
+					fo++
+					off++
+				}
+			}
+		}
+	}
+	applyFluxes(p, q, fl)
+	return fl
+}
+
+// StepReference is the original closure-based step, kept verbatim as
+// the bit-exactness baseline for tests and benchmarks. It returns the
+// (heap-allocated, never pooled) fluxes it applied.
+func (k Burgers3D) StepReference(p *grid.Patch, dt, dx float64) *Fluxes {
+	checkFieldList(p, k.Name(), qFields)
+	if p.NGhost < 1 {
+		panic("solver.Burgers3D: needs at least one ghost cell")
+	}
+	q := p.Field(FieldQ)
+	g := p.Grown()
+	s := g.Shape()
+	stride := [3]int{1, s[0], s[0] * s[1]}
+	lam := dt / dx
+	fl := newFluxesAlloc(p.Box)
 	for d := 0; d < 3; d++ {
 		fl.FaceBox(d).ForEach(func(i geom.Index) {
 			off := g.Offset(i)

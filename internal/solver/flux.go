@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"sync"
+
 	"samrdlb/internal/geom"
 	"samrdlb/internal/grid"
 )
@@ -26,8 +28,32 @@ type Fluxes struct {
 	f       [3][]float64
 }
 
-// NewFluxes allocates zeroed fluxes over the interior box.
+// fluxPool recycles Fluxes across steps: every fluxed kernel step on
+// every grid needs one, and the flux registers copy the values out,
+// so the object is dead as soon as the engine has fed the registers.
+var fluxPool = sync.Pool{New: func() any { return new(Fluxes) }}
+
+// NewFluxes returns zeroed fluxes over the interior box, reusing a
+// released Fluxes when one is available.
 func NewFluxes(box geom.Box) *Fluxes {
+	fl := fluxPool.Get().(*Fluxes)
+	fl.Box = box
+	for d := 0; d < 3; d++ {
+		fl.faceBox[d] = box.GrowDim(d, 0, 1)
+		n := int(fl.faceBox[d].NumCells())
+		if cap(fl.f[d]) < n {
+			fl.f[d] = make([]float64, n)
+		} else {
+			fl.f[d] = fl.f[d][:n]
+			clear(fl.f[d]) // keep the documented zeroed contract on reuse
+		}
+	}
+	return fl
+}
+
+// newFluxesAlloc always heap-allocates (reference paths, so the
+// pooled fast path can be compared against untouched baselines).
+func newFluxesAlloc(box geom.Box) *Fluxes {
 	fl := &Fluxes{Box: box}
 	for d := 0; d < 3; d++ {
 		fl.faceBox[d] = box.GrowDim(d, 0, 1)
@@ -35,6 +61,11 @@ func NewFluxes(box geom.Box) *Fluxes {
 	}
 	return fl
 }
+
+// Release returns the fluxes to the reuse pool. The caller must not
+// touch fl afterwards; values read out of it (e.g. by the flux
+// registers, which copy) stay valid.
+func (fl *Fluxes) Release() { fluxPool.Put(fl) }
 
 // At returns the flux through face (d, i) — the lower face of cell i
 // in dimension d. The face must exist for this box.
@@ -50,6 +81,20 @@ func (fl *Fluxes) Set(d int, i geom.Index, v float64) {
 // FaceBox returns the face index box for dimension d.
 func (fl *Fluxes) FaceBox(d int) geom.Box { return fl.faceBox[d] }
 
+// faceStride returns the linear stride along dimension d inside
+// faceBox[d]'s x-fastest storage.
+func (fl *Fluxes) faceStride(d int) int {
+	s := fl.faceBox[d].Shape()
+	switch d {
+	case 0:
+		return 1
+	case 1:
+		return s[0]
+	default:
+		return s[0] * s[1]
+	}
+}
+
 // FluxedKernel is a kernel that can expose its face fluxes.
 type FluxedKernel interface {
 	Kernel
@@ -61,7 +106,7 @@ type FluxedKernel interface {
 
 // StepFluxes implements FluxedKernel for the upwind advection scheme.
 func (a Advection3D) StepFluxes(p *grid.Patch, dt, dx float64) *Fluxes {
-	checkFields(p, a)
+	checkFieldList(p, a.Name(), qFields)
 	if p.NGhost < 1 {
 		panic("solver.Advection3D: needs at least one ghost cell")
 	}
@@ -71,6 +116,88 @@ func (a Advection3D) StepFluxes(p *grid.Patch, dt, dx float64) *Fluxes {
 	stride := [3]int{1, s[0], s[0] * s[1]}
 	lam := dt / dx
 	fl := NewFluxes(p.Box)
+	for d := 0; d < 3; d++ {
+		v := a.Vel[d]
+		fb := fl.faceBox[d]
+		fo := 0
+		for z := fb.Lo[2]; z <= fb.Hi[2]; z++ {
+			for y := fb.Lo[1]; y <= fb.Hi[1]; y++ {
+				off := g.Offset(geom.Index{fb.Lo[0], y, z})
+				for x := fb.Lo[0]; x <= fb.Hi[0]; x++ {
+					var qup float64
+					if v >= 0 {
+						qup = q[off-stride[d]] // face's lower cell
+					} else {
+						qup = q[off]
+					}
+					fl.f[d][fo] = v * lam * qup
+					fo++
+					off++
+				}
+			}
+		}
+	}
+	applyFluxes(p, q, fl)
+	return fl
+}
+
+// applyFluxes performs q_i -= F(i+e_d) - F(i) over the interior,
+// double-buffered through the scratch arena so the update reads the
+// pre-step state throughout.
+func applyFluxes(p *grid.Patch, q []float64, fl *Fluxes) {
+	g := p.Grown()
+	b := p.Box
+	sp := getScratch(len(q))
+	out := *sp
+	fStride := [3]int{fl.faceStride(0), fl.faceStride(1), fl.faceStride(2)}
+	for z := b.Lo[2]; z <= b.Hi[2]; z++ {
+		for y := b.Lo[1]; y <= b.Hi[1]; y++ {
+			off := g.Offset(geom.Index{b.Lo[0], y, z})
+			var fOff [3]int
+			for d := 0; d < 3; d++ {
+				fOff[d] = fl.faceBox[d].Offset(geom.Index{b.Lo[0], y, z})
+			}
+			for x := b.Lo[0]; x <= b.Hi[0]; x++ {
+				var du float64
+				for d := 0; d < 3; d++ {
+					du -= fl.f[d][fOff[d]+fStride[d]] - fl.f[d][fOff[d]]
+					fOff[d]++
+				}
+				out[off] = q[off] + du
+				off++
+			}
+		}
+	}
+	copyInterior(q, out, g, b)
+	putScratch(sp)
+}
+
+// copyInterior copies the interior rows of src into dst, both stored
+// over the grown box g.
+func copyInterior(dst, src []float64, g, b geom.Box) {
+	n := b.Hi[0] - b.Lo[0] + 1
+	for z := b.Lo[2]; z <= b.Hi[2]; z++ {
+		for y := b.Lo[1]; y <= b.Hi[1]; y++ {
+			off := g.Offset(geom.Index{b.Lo[0], y, z})
+			copy(dst[off:off+n], src[off:off+n])
+		}
+	}
+}
+
+// StepFluxesReference is the original closure-based implementation of
+// StepFluxes, kept verbatim as the bit-exactness baseline for tests
+// and benchmarks. It never touches the reuse pools.
+func (a Advection3D) StepFluxesReference(p *grid.Patch, dt, dx float64) *Fluxes {
+	checkFieldList(p, a.Name(), qFields)
+	if p.NGhost < 1 {
+		panic("solver.Advection3D: needs at least one ghost cell")
+	}
+	q := p.Field(FieldQ)
+	g := p.Grown()
+	s := g.Shape()
+	stride := [3]int{1, s[0], s[0] * s[1]}
+	lam := dt / dx
+	fl := newFluxesAlloc(p.Box)
 	for d := 0; d < 3; d++ {
 		v := a.Vel[d]
 		fl.faceBox[d].ForEach(func(i geom.Index) {

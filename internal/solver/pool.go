@@ -3,6 +3,7 @@ package solver
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool runs patch kernels in parallel across host cores. The
@@ -42,17 +43,19 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		}
 		return
 	}
+	// Work-stealing by atomic counter: no per-call channel fill, no
+	// per-index send/receive — this runs on every level step.
 	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
+	var next atomic.Int64
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
 		}()

@@ -44,10 +44,26 @@ func MaxStableDt(maxSpeed, dx, cfl float64) float64 {
 	return cfl * dx / maxSpeed
 }
 
+// Shared field lists, returned by the kernels' Fields methods and
+// passed to checkFieldList from the hot Step paths. Package-level so
+// neither the method call nor the check allocates; callers must not
+// mutate them.
+var (
+	qFields       = []string{FieldQ}
+	poissonFields = []string{FieldPhi, FieldRho}
+)
+
 func checkFields(p *grid.Patch, k Kernel) {
-	for _, f := range k.Fields() {
+	checkFieldList(p, k.Name(), k.Fields())
+}
+
+// checkFieldList is checkFields without boxing the kernel into an
+// interface — per-step kernel code calls it with a shared field list
+// so the validation costs zero allocations.
+func checkFieldList(p *grid.Patch, kernelName string, fields []string) {
+	for _, f := range fields {
 		if !p.HasField(f) {
-			panic(fmt.Sprintf("solver: patch missing field %q required by %s", f, k.Name()))
+			panic(fmt.Sprintf("solver: patch missing field %q required by %s", f, kernelName))
 		}
 	}
 }
