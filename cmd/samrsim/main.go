@@ -9,6 +9,14 @@
 // every -ckpt-interval level-0 steps; an interrupted run (crash, kill,
 // or -stop-after) restarts with -resume and produces the same result
 // as an uninterrupted one.
+//
+// With -invariants the paper-invariant oracle (internal/invariant)
+// audits every regrid, balancing, checkpoint and restore phase; any
+// violation is printed and the run exits non-zero. -scenario replays
+// a property-harness scenario string — the format printed by a
+// failing soak or fuzz run — end to end under the oracle:
+//
+//	samrsim -invariants -scenario 'seed=42 dataset=ShockPool3D n=8 ... bug=colocation'
 package main
 
 import (
@@ -22,9 +30,11 @@ import (
 	"samrdlb/internal/dlb"
 	"samrdlb/internal/engine"
 	"samrdlb/internal/fault"
+	"samrdlb/internal/invariant"
 	"samrdlb/internal/machine"
 	"samrdlb/internal/metrics"
 	"samrdlb/internal/netsim"
+	"samrdlb/internal/scenario"
 	"samrdlb/internal/solver"
 	"samrdlb/internal/trace"
 	"samrdlb/internal/vclock"
@@ -57,8 +67,14 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		ledCheck = flag.Bool("ledgercheck", false, "verify the incremental load ledger against a full recomputation after every hierarchy mutation (slow; debug oracle)")
 		datCheck = flag.Bool("datacheck", false, "verify every planned ghost fill and restriction against the scan-based baseline, bit for bit (slow; debug oracle)")
+		invCheck = flag.Bool("invariants", false, "audit every phase with the paper-invariant oracle; violations exit non-zero")
+		scenSpec = flag.String("scenario", "", "replay a property-harness scenario string under the invariant oracle (overrides the other run flags)")
 	)
 	flag.Parse()
+
+	if *scenSpec != "" {
+		os.Exit(runScenario(*scenSpec))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -164,6 +180,13 @@ func main() {
 		LedgerCheck:        *ledCheck,
 		DataCheck:          *datCheck,
 	}
+	var checker *invariant.Checker
+	if *invCheck {
+		// The parallel and SFC schemes deliberately ignore group
+		// placement; only the distributed scheme promises co-location.
+		checker = invariant.New(*scheme == "distributed")
+		opt.Invariants = checker.Check
+	}
 	if *stopAftr >= 0 {
 		// The durable generation for this boundary (if due) is written
 		// before AfterStep fires, so exiting here models a crash whose
@@ -198,6 +221,14 @@ func main() {
 		runner = engine.New(sys, driver, opt)
 	}
 	res := runner.Run()
+
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "invariants: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "invariants: every checked phase held")
+	}
 
 	fmt.Printf("%s\n\n", res)
 	tbl := metrics.NewTable("Breakdown (seconds)", "phase", "time", "share%")
@@ -253,4 +284,28 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// runScenario replays a property-harness scenario string (the replay
+// format printed by failing soak/fuzz runs) under the invariant
+// oracle. Returns the process exit code: 0 when every invariant held,
+// 1 on violations or execution failure, 2 on a malformed spec.
+func runScenario(spec string) int {
+	sc, err := scenario.Parse(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		return 2
+	}
+	sc.Normalize()
+	fmt.Printf("scenario: %s\n", sc.Encode())
+	out := sc.Execute()
+	if out.Result != nil {
+		fmt.Printf("%s\n", out.Result)
+	}
+	if out.Failed() {
+		fmt.Fprintf(os.Stderr, "scenario failed: %s\n", out.Summary())
+		return 1
+	}
+	fmt.Println("scenario ok: all paper invariants held")
+	return 0
 }

@@ -84,10 +84,15 @@ type Meta struct {
 	GlobalRedists   int
 	LocalMigrations int
 	MaxCells        int64
-	LedgerEvents    uint64
-	LedgerRebuilds  int
-	DiskCheckpoints int
-	DiskCkptErrors  int
+	// LastGain, LastCost and LastGamma preserve the inputs of the most
+	// recent Gain > γ·Cost gate, so a resumed run's Result reports the
+	// same decision inputs the uninterrupted run would (the recorder
+	// interval alone cannot reproduce them after a resume).
+	LastGain, LastCost, LastGamma float64
+	LedgerEvents                  uint64
+	LedgerRebuilds                int
+	DiskCheckpoints               int
+	DiskCkptErrors                int
 	// WriteAttempts is the durable-write sequence position (attempts,
 	// including failed ones) — it keys the deterministic disk-fault
 	// decisions, so a resumed run replays the same corruption.

@@ -87,6 +87,13 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 			d.Quarantined = append(d.Quarantined, g)
 			continue
 		}
+		if len(sys.AliveInGroup(g)) == 0 {
+			// Every processor in the group has failed: it can neither
+			// donate work nor receive it. Picking it as the underloaded
+			// receiver would park level-0 grids on dead processors until
+			// the next recovery.
+			continue
+		}
 		healthy = append(healthy, g)
 	}
 	if len(healthy) < 2 {
@@ -204,8 +211,11 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 	}
 
 	d.Gain = ctx.Load.Gain(sys)
-	d.Cost = load.Cost(alphaHat, betaHat, float64(moveBytes), ctx.Load.Delta())
-	if d.Gain <= ctx.gamma()*d.Cost {
+	d.Delta = ctx.Load.Delta()
+	d.Cost = load.Cost(alphaHat, betaHat, float64(moveBytes), d.Delta)
+	d.Gamma = ctx.gamma()
+	d.GainCostValid = true
+	if d.Gain <= d.Gamma*d.Cost {
 		return d
 	}
 
@@ -310,6 +320,7 @@ func moveLevel0(ctx *Context, donor, recv int, moveWork float64) []Migration {
 			// Move the whole grid.
 			from := g.Owner
 			ctx.H.SetOwner(g, leastLoadedProc(ctx, recvProcs, 0))
+			adoptSubtree(ctx, g)
 			out = append(out, Migration{Grid: g.ID, From: from, To: g.Owner, Bytes: g.Bytes(numFields)})
 			remaining -= work
 			continue
@@ -323,10 +334,28 @@ func moveLevel0(ctx *Context, donor, recv int, moveWork float64) []Migration {
 		}
 		from := piece.Owner
 		ctx.H.SetOwner(piece, leastLoadedProc(ctx, recvProcs, 0))
+		adoptSubtree(ctx, piece)
 		out = append(out, Migration{Grid: piece.ID, From: from, To: piece.Owner, Bytes: piece.Bytes(numFields)})
 		break
 	}
 	return out
+}
+
+// adoptSubtree moves g's descendants onto g's (new) owner. Only
+// level-0 grids migrate between groups — their finer grids are
+// rebuilt on the receiving side rather than shipped, so the
+// descendants simply follow the root's owner instead of appearing as
+// migrations or transfer bytes. Without this the subtree stays on the
+// donor group's processors until the next regrid, breaking
+// parent–child co-location whenever RegridInterval > 1 (the ledger
+// already attributes the whole subtree to the root's group, so the
+// two views disagreed). Children are visited in level order, which is
+// deterministic.
+func adoptSubtree(ctx *Context, g *amr.Grid) {
+	for _, c := range ctx.H.Children(g) {
+		ctx.H.SetOwner(c, g.Owner)
+		adoptSubtree(ctx, c)
+	}
 }
 
 // splitTowards splits grid g so that the piece nearer `target` holds

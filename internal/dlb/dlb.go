@@ -113,6 +113,16 @@ type GlobalDecision struct {
 	// Gain and Cost are the heuristic estimates (Eqs. 1–4); valid when
 	// Evaluated.
 	Gain, Cost float64
+	// Gamma and Delta snapshot the remaining inputs of the Eq. 1 gate
+	// exactly as the balancer compared them: the γ threshold in effect
+	// and the measured δ overhead folded into Cost. GainCostValid marks
+	// the decisions where the gate actually ran — it stays false on the
+	// one-group, degraded and parallel paths, where Invoked does not
+	// follow from Gain > γ·Cost. Oracles must test the gate only when
+	// GainCostValid; post-hoc recomputation from the recorder would see
+	// a different (already reset, or resumed-stale) interval.
+	Gamma, Delta  float64
+	GainCostValid bool
 	// ProbeTime is the wall time consumed measuring α and β.
 	ProbeTime float64
 	// Invoked is true when redistribution was actually performed.

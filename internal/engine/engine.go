@@ -89,6 +89,12 @@ type Options struct {
 	// tests to check invariants continuously and by tools to stream
 	// state).
 	AfterStep func(step int, r *Runner)
+	// Invariants, when non-nil, fires after every structural phase of
+	// the run — regrid, local balance, global balance, checkpoint,
+	// restore — with a snapshot of what just happened (see PhaseInfo).
+	// It is the attachment point for the paper-invariant oracle in
+	// internal/invariant; callbacks must not mutate the runner.
+	Invariants func(*PhaseInfo)
 	// Resume, when non-nil, starts from a checkpointed hierarchy
 	// (amr.Load) instead of a fresh decomposition; ResumeTime sets the
 	// simulated time the checkpoint was taken at.
@@ -206,6 +212,12 @@ type Runner struct {
 	globalRedists int
 	localMigs     int
 	maxCells      int64
+	curStep       int // level-0 step the loop is executing (for hooks)
+
+	// Last gate inputs the balancer actually compared (Eq. 1), kept
+	// for the Result and persisted across Resume so a resumed run
+	// reports what the original compared, not a stale recompute.
+	lastGain, lastCost, lastGamma float64
 
 	// Fault-tolerance state (active only when opt.Faults is set).
 	ckpt          []byte       // last checkpoint (gob stream)
@@ -434,6 +446,7 @@ func (r *Runner) dt(level int) float64 {
 // takes periodic recovery checkpoints, and tracks group quarantine
 // across level-0 boundaries.
 func (r *Runner) Run() *metrics.Result {
+	r.curStep = r.startStep
 	if r.opt.Faults != nil {
 		if r.resumed {
 			// The resume point doubles as the in-memory recovery point;
@@ -447,6 +460,7 @@ func (r *Runner) Run() *metrics.Result {
 		}
 	}
 	for s := r.startStep; s < r.opt.Steps; s++ {
+		r.curStep = s
 		if r.opt.Faults != nil {
 			r.applySlowdowns()
 		}
@@ -557,6 +571,7 @@ func (r *Runner) takeCheckpoint(step int) {
 	r.ckptClock = r.clock.Now()
 	r.opt.Trace.Add(trace.Recovery, 0, r.ckptClock,
 		fmt.Sprintf("checkpoint step=%d cells=%d", step, cells))
+	r.fireInvariant(PhaseCheckpoint, 0, nil, nil, false)
 }
 
 // writeDurable serialises the full engine state — hierarchy plus the
@@ -586,6 +601,7 @@ func (r *Runner) writeDurable(step int) {
 	r.diskCkptWrites++
 	r.opt.Trace.Add(trace.Checkpoint, 0, r.clock.Now(),
 		fmt.Sprintf("gen=%d step=%d cells=%d bytes=%d", gen, step, cells, r.ckptBuf.Len()))
+	r.fireInvariant(PhaseCheckpoint, 0, nil, nil, false)
 }
 
 // snapshotMeta captures everything beyond the hierarchy that Resume
@@ -608,6 +624,9 @@ func (r *Runner) snapshotMeta(step int) *ckpt.Meta {
 		GlobalRedists:   r.globalRedists,
 		LocalMigrations: r.localMigs,
 		MaxCells:        r.maxCells,
+		LastGain:        r.lastGain,
+		LastCost:        r.lastCost,
+		LastGamma:       r.lastGamma,
 		LedgerEvents:    r.ledgerEvents + r.ledger.EventCount(),
 		LedgerRebuilds:  r.ledgerRebuilds + r.ledger.Rebuilds(),
 		DiskCheckpoints: r.diskCkptWrites + 1,
@@ -698,6 +717,8 @@ func (r *Runner) recoverFromCheckpoint() int {
 	r.opt.Trace.Add(trace.Recovery, 0, r.clock.Now(),
 		fmt.Sprintf("restored checkpoint step=%d lost=%.4fs survivors=%d",
 			step, lost, r.sys.NumAlive()))
+	r.curStep = step
+	r.fireInvariant(PhaseRestore, 0, nil, nil, false)
 	return step
 }
 
@@ -1045,12 +1066,14 @@ func (r *Runner) chargeMigrations(migs []dlb.Migration, localPhase, remotePhase 
 // localBalance runs the scheme's local phase for one level.
 func (r *Runner) localBalance(level int) {
 	migs := r.opt.Balancer.LocalBalance(r.ctx, level)
-	if len(migs) == 0 {
-		return
+	if len(migs) > 0 {
+		r.localMigs += len(migs)
+		r.chargeMigrations(migs, vclock.LocalComm, vclock.RemoteComm)
+		r.opt.Trace.Add(trace.LocalBalance, level, r.clock.Now(), fmt.Sprintf("migrations=%d", len(migs)))
 	}
-	r.localMigs += len(migs)
-	r.chargeMigrations(migs, vclock.LocalComm, vclock.RemoteComm)
-	r.opt.Trace.Add(trace.LocalBalance, level, r.clock.Now(), fmt.Sprintf("migrations=%d", len(migs)))
+	// The hook fires even for an empty migration list: "already
+	// balanced" is itself a claim the oracle checks.
+	r.fireInvariant(PhaseLocalBalance, level, nil, migs, false)
 }
 
 // globalBalance implements the left column of Fig. 4 after a level-0
@@ -1141,6 +1164,12 @@ func (r *Runner) globalBalance() {
 			r.chargeMigrations(d.Migrations, vclock.LocalComm, vclock.RemoteComm)
 		}
 	}
+	if d.GainCostValid {
+		r.lastGain, r.lastCost, r.lastGamma = d.Gain, d.Cost, d.Gamma
+	}
+	// The oracle hook fires before the interval resets, so checkers
+	// still see the recorder state the decision read.
+	r.fireInvariant(PhaseGlobalBalance, 0, &d, d.Migrations, forced)
 	r.rec.ResetInterval()
 	r.intervalStart = r.clock.Now()
 }
@@ -1172,6 +1201,7 @@ func (r *Runner) regrid(initial bool) {
 	cells := r.ledger.TotalCells()
 	r.clock.AddUniform(vclock.Regrid, float64(cells)*regridFlopsPerCell/r.sys.FlopsPerSecond)
 	r.opt.Trace.Add(trace.Regrid, 0, r.clock.Now(), fmt.Sprintf("cells=%d", cells))
+	r.fireInvariant(PhaseRegrid, 0, nil, nil, false)
 }
 
 // noteQuarantine tracks group reachability across level-0 boundaries:
@@ -1215,6 +1245,9 @@ func (r *Runner) result() *metrics.Result {
 		MaxCells:        r.maxCells,
 		LedgerEvents:    r.ledgerEvents + r.ledger.EventCount(),
 		LedgerRebuilds:  r.ledgerRebuilds + r.ledger.Rebuilds(),
+		LastGain:        r.lastGain,
+		LastCost:        r.lastCost,
+		LastGamma:       r.lastGamma,
 	}
 	if r.opt.Faults != nil {
 		res.FaultEvents = r.opt.Faults.NumEvents()

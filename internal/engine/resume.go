@@ -73,6 +73,10 @@ func Resume(sys *machine.System, driver workload.Driver, opt Options) (*Runner, 
 	if err := r.restoreFromMeta(meta); err != nil {
 		return nil, report, fmt.Errorf("engine.Resume: %w", err)
 	}
+	// The restored state is a phase boundary like any other: let the
+	// invariant oracle inspect it before the run continues.
+	r.curStep = meta.Step
+	r.fireInvariant(PhaseRestore, 0, nil, nil, false)
 	return r, report, nil
 }
 
@@ -116,6 +120,9 @@ func (r *Runner) restoreFromMeta(m *ckpt.Meta) error {
 	r.globalRedists = m.GlobalRedists
 	r.localMigs = m.LocalMigrations
 	r.maxCells = m.MaxCells
+	r.lastGain = m.LastGain
+	r.lastCost = m.LastCost
+	r.lastGamma = m.LastGamma
 	// The resume-time full ledger build replaces the original run's
 	// initial build in the campaign totals: reconcile so the reported
 	// events/rebuilds match the uninterrupted run's.

@@ -1,0 +1,140 @@
+package invariant_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"samrdlb/internal/dlb"
+	"samrdlb/internal/engine"
+	"samrdlb/internal/invariant"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/workload"
+)
+
+// cleanRun executes a short distributed run with the checker attached
+// and returns the runner for post-hoc tampering.
+func cleanRun(t *testing.T, c *invariant.Checker) *engine.Runner {
+	t.Helper()
+	r := engine.New(machine.WanPair(2, nil), workload.NewShockPool3D(16, 2), engine.Options{
+		Steps: 2, MaxLevel: 1, Invariants: c.Check,
+	})
+	r.Run()
+	return r
+}
+
+func TestCheckerCleanRunHasNoViolations(t *testing.T) {
+	c := invariant.New(true)
+	cleanRun(t, c)
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean run violated invariants: %v", err)
+	}
+}
+
+// TestCheckerCatchesMisplacedChild hand-breaks co-location after a
+// clean run and feeds the state back through the checker.
+func TestCheckerCatchesMisplacedChild(t *testing.T) {
+	c := invariant.New(true)
+	r := cleanRun(t, c)
+
+	h, sys := r.Hierarchy(), r.System()
+	grids := h.Grids(1)
+	if len(grids) == 0 {
+		t.Fatal("run produced no level-1 grids")
+	}
+	victim := grids[0]
+	parent := h.Grid(victim.Parent)
+	for q := 0; q < sys.NumProcs(); q++ {
+		if sys.GroupOf(q) != sys.GroupOf(parent.Owner) {
+			h.SetOwner(victim, q)
+			break
+		}
+	}
+
+	c.Check(&engine.PhaseInfo{Phase: engine.PhaseRegrid, Step: 3, Runner: r})
+	found := false
+	for _, v := range c.Violations() {
+		if v.Rule == "co-location" {
+			found = true
+			if v.Step != 3 || v.Phase != engine.PhaseRegrid {
+				t.Errorf("violation context wrong: %+v", v)
+			}
+			if !strings.Contains(v.String(), "co-location") {
+				t.Errorf("String() misses the rule: %q", v.String())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("misplaced child not caught; violations: %v", c.Violations())
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() must be non-nil after a violation")
+	}
+}
+
+// TestCheckerGateAndCostRules feeds synthetic global decisions through
+// the checker: an Invoked flag contradicting the recorded Gain/γ·Cost
+// comparison, and a NaN cost, must each be flagged.
+func TestCheckerGateAndCostRules(t *testing.T) {
+	c := invariant.New(true)
+	r := cleanRun(t, c)
+	before := len(c.Violations())
+
+	c.Check(&engine.PhaseInfo{
+		Phase: engine.PhaseGlobalBalance, Step: 5, Runner: r,
+		Decision: &dlb.GlobalDecision{
+			GainCostValid: true, Gain: 1, Gamma: 2, Cost: 10, Invoked: true,
+		},
+	})
+	c.Check(&engine.PhaseInfo{
+		Phase: engine.PhaseGlobalBalance, Step: 6, Runner: r,
+		Decision: &dlb.GlobalDecision{
+			GainCostValid: true, Gain: 1, Gamma: 2, Cost: math.NaN(),
+		},
+	})
+	var gate, sane bool
+	for _, v := range c.Violations()[before:] {
+		switch v.Rule {
+		case "gain-cost-gate":
+			gate = true
+		case "cost-sane":
+			sane = true
+		}
+	}
+	if !gate {
+		t.Error("contradictory Invoked flag not flagged by gain-cost-gate")
+	}
+	if !sane {
+		t.Error("NaN cost not flagged by cost-sane")
+	}
+}
+
+// TestCheckerTruncatesViolationFlood: a broken invariant fires every
+// phase; the report must cap and say so.
+func TestCheckerTruncatesViolationFlood(t *testing.T) {
+	c := invariant.New(true)
+	c.MaxViolations = 2
+	r := cleanRun(t, c)
+
+	h, sys := r.Hierarchy(), r.System()
+	grids := h.Grids(1)
+	if len(grids) == 0 {
+		t.Fatal("run produced no level-1 grids")
+	}
+	parent := h.Grid(grids[0].Parent)
+	for q := 0; q < sys.NumProcs(); q++ {
+		if sys.GroupOf(q) != sys.GroupOf(parent.Owner) {
+			h.SetOwner(grids[0], q)
+			break
+		}
+	}
+	for i := 0; i < 5; i++ {
+		c.Check(&engine.PhaseInfo{Phase: engine.PhaseRegrid, Step: i, Runner: r})
+	}
+	if got := len(c.Violations()); got != 2 {
+		t.Fatalf("violations = %d, want cap of 2", got)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("capped report must mention dropped violations: %v", err)
+	}
+}

@@ -38,6 +38,12 @@ type Result struct {
 	// rebuilds (initial build plus one per checkpoint recovery).
 	LedgerEvents   uint64
 	LedgerRebuilds int
+	// LastGain, LastCost and LastGamma are the inputs of the most
+	// recent Gain > γ·Cost gate exactly as the balancer compared them
+	// (all zero when no gate ever ran). They are snapshotted from the
+	// decision, not recomputed — a resumed run reports what the
+	// original run compared.
+	LastGain, LastCost, LastGamma float64
 
 	// Fault-tolerance outcome (all zero unless fault injection was
 	// enabled for the run).

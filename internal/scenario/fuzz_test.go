@@ -1,0 +1,21 @@
+package scenario
+
+import "testing"
+
+// FuzzScenario feeds arbitrary bytes through FromBytes into the
+// executor: whatever configuration the fuzzer reaches, the engine
+// must neither panic nor violate a paper invariant. CI runs this for
+// a short smoke window; `go test -fuzz=FuzzScenario ./internal/scenario`
+// runs it open-ended.
+func FuzzScenario(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{9, 0, 0, 0, 0, 0, 0, 0, 3, 7, 11, 42})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := FromBytes(data)
+		if out := sc.Execute(); out.Failed() {
+			t.Fatalf("%s\nreplay: %s", out.Summary(), ReplayCommand(sc))
+		}
+	})
+}

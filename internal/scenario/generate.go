@@ -1,0 +1,180 @@
+package scenario
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"samrdlb/internal/fault"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/workload"
+)
+
+// Generate derives a runnable scenario deterministically from a seed:
+// the same seed always yields the same scenario, so a soak failure is
+// reproducible from its seed alone. Every output has already passed
+// Normalize.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	s := Scenario{Seed: seed, ResumeCut: -1}
+
+	ngroups := 1 + rng.Intn(3)
+	for i := 0; i < ngroups; i++ {
+		perf := 1.0
+		if rng.Float64() < 0.4 {
+			perf = []float64{0.5, 0.75}[rng.Intn(2)]
+		}
+		s.Groups = append(s.Groups, GroupDef{Procs: 1 + rng.Intn(4), Perf: perf})
+	}
+
+	s.Dataset = []string{
+		"ShockPool3D", "ShockPool3D", "AMR64", "SedovBlast", "blob", "uniform",
+	}[rng.Intn(6)]
+	s.DomainN = domainSizes[rng.Intn(len(domainSizes))]
+	s.MaxLevel = 1
+	if rng.Float64() < 0.3 {
+		s.MaxLevel = 2
+	}
+	if rng.Float64() < 0.75 {
+		s.Scheme = "distributed"
+	} else {
+		s.Scheme = "parallel"
+	}
+	s.Wan = ngroups >= 2 && rng.Float64() < 0.5
+	if rng.Float64() < 0.3 {
+		s.Traffic = 1 + rng.Int63n(1<<20)
+	}
+	s.Steps = 3 + rng.Intn(6)
+	if rng.Float64() < 0.3 {
+		s.Gamma = 0.5 + 3.5*rng.Float64()
+	}
+	if rng.Float64() < 0.3 {
+		s.Eps = 0.01 + 0.19*rng.Float64()
+	}
+	s.RegridInterval = 1 + rng.Intn(3)
+	s.GridsPerProc = 1 + rng.Intn(3)
+	s.WithData = s.DomainN <= 12 && rng.Float64() < 0.2
+	s.UseForecast = rng.Float64() < 0.3
+	s.CkptInterval = 1 + rng.Intn(3)
+	if rng.Float64() < 0.3 && s.Steps >= 2 {
+		s.ResumeCut = s.CkptInterval + rng.Intn(s.Steps)
+	}
+
+	if rng.Float64() < 0.5 {
+		s.FaultSeed = rng.Int63()
+		est := s.estRunTime()
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			s.Faults = append(s.Faults, randomEvent(rng, est, len(s.Groups), s.NumProcs()))
+		}
+	}
+
+	s.Normalize()
+	return s
+}
+
+// estRunTime crudely estimates the run's virtual duration so fault
+// windows land somewhere inside it. Precision is irrelevant — a
+// window that misses the run is a no-op, not an error.
+func (s *Scenario) estRunTime() float64 {
+	cells := float64(s.DomainN * s.DomainN * s.DomainN)
+	flops := workload.FlopsPerCell(s.Driver())
+	var perf float64
+	for _, g := range s.Groups {
+		perf += float64(g.Procs) * g.Perf
+	}
+	if perf <= 0 {
+		perf = 1
+	}
+	// ~3× for refined levels and subcycling.
+	return float64(s.Steps) * cells * flops * 3 / (perf * machine.DefaultFlopsPerSecond)
+}
+
+// randomEvent draws one valid fault event with a window inside
+// [0, est]. Kind-specific parameters respect fault.Event validation.
+func randomEvent(rng *rand.Rand, est float64, ngroups, nprocs int) fault.Event {
+	start := rng.Float64() * est * 0.8
+	end := start + (0.05+0.45*rng.Float64())*est
+	a, b := 0, 1
+	if ngroups >= 2 {
+		a = rng.Intn(ngroups)
+		b = rng.Intn(ngroups)
+		for b == a {
+			b = rng.Intn(ngroups)
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return fault.Event{Kind: fault.LinkOutage, Start: start, End: end, A: a, B: b}
+	case 1:
+		return fault.Event{Kind: fault.LinkDegrade, Start: start, End: end, A: a, B: b,
+			Factor: 1.5 + 6.5*rng.Float64()}
+	case 2:
+		return fault.Event{Kind: fault.ProbeLoss, Start: start, End: end, A: a, B: b,
+			Prob: 0.3 + 0.7*rng.Float64()}
+	case 3:
+		return fault.Event{Kind: fault.ProcSlowdown, Start: start, End: end,
+			Proc: rng.Intn(nprocs), Factor: 0.3 + 0.6*rng.Float64()}
+	case 4:
+		return fault.Event{Kind: fault.GroupDisconnect, Start: start, End: end,
+			Group: rng.Intn(ngroups)}
+	default:
+		return fault.Event{Kind: fault.ProcFailure, Start: start, End: end,
+			Proc: rng.Intn(nprocs)}
+	}
+}
+
+// FromBytes maps arbitrary fuzz input onto a scenario: the first 8
+// bytes seed Generate, the rest perturb individual fields. Fuzz
+// scenarios are clamped smaller than soak scenarios (tiny domains,
+// few steps) so the fuzzer gets throughput; Normalize re-validates
+// whatever the perturbations produced.
+func FromBytes(data []byte) Scenario {
+	var seed int64
+	if len(data) >= 8 {
+		seed = int64(binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+	}
+	s := Generate(seed)
+	for i, b := range data {
+		switch b % 11 {
+		case 0:
+			s.Steps = 1 + int(b/11)%4
+		case 1:
+			s.MaxLevel = 1 + int(b)%2
+		case 2:
+			s.RegridInterval = 1 + int(b)%4
+		case 3:
+			s.GridsPerProc = 1 + int(b)%4
+		case 4:
+			s.Gamma = float64(b) / 32
+		case 5:
+			s.Eps = float64(b) / 512
+		case 6:
+			s.CkptInterval = 1 + int(b)%4
+		case 7:
+			if s.ResumeCut >= 0 {
+				s.ResumeCut = int(b) % (s.Steps + 1)
+			}
+		case 8:
+			if len(s.Groups) > 0 {
+				s.Groups[i%len(s.Groups)].Procs = 1 + int(b)%4
+			}
+		case 9:
+			s.UseForecast = b%2 == 0
+		case 10:
+			if len(s.Faults) > 0 {
+				s.Faults[i%len(s.Faults)].Start = float64(b) / 255 * s.estRunTime()
+			}
+		}
+	}
+	// Keep fuzz executions cheap.
+	if s.DomainN > 12 {
+		s.DomainN = 12
+	}
+	if s.Steps > 4 {
+		s.Steps = 4
+	}
+	s.WithData = false
+	s.Normalize()
+	return s
+}

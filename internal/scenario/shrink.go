@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"reflect"
+
+	"samrdlb/internal/fault"
+)
+
+// DefaultShrinkBudget bounds how many candidate executions Shrink may
+// spend when the caller passes budget <= 0.
+const DefaultShrinkBudget = 200
+
+// Shrink greedily minimises a failing scenario: it applies reduction
+// passes (drop the resume cut, drop faults, fewer steps, fewer
+// groups/processors, shallower hierarchy, smaller domain, simpler
+// options) until none still reproduces the failure, and returns the
+// smallest reproducer found. failing must return true when the
+// candidate still fails; budget caps how many candidates are tried.
+// Seed and InjectBug are preserved so the returned scenario replays
+// the same defect.
+func Shrink(sc Scenario, failing func(Scenario) bool, budget int) Scenario {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	cur := clone(sc)
+	for {
+		improved := false
+		for _, cand := range candidates(cur) {
+			cand.Normalize()
+			if reflect.DeepEqual(cand, cur) {
+				continue
+			}
+			if budget <= 0 {
+				return cur
+			}
+			budget--
+			if failing(cand) {
+				cur = cand
+				improved = true
+				break // restart the pass list from the smaller scenario
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// candidates yields one-step reductions of s, most aggressive first
+// so the greedy loop takes big bites before nibbling.
+func candidates(s Scenario) []Scenario {
+	var out []Scenario
+	mut := func(f func(*Scenario)) {
+		c := clone(s)
+		f(&c)
+		out = append(out, c)
+	}
+	if s.ResumeCut >= 0 {
+		mut(func(c *Scenario) { c.ResumeCut = -1 })
+	}
+	if len(s.Faults) > 0 {
+		mut(func(c *Scenario) { c.Faults = nil })
+		for i := range s.Faults {
+			i := i
+			mut(func(c *Scenario) { c.Faults = append(c.Faults[:i], c.Faults[i+1:]...) })
+		}
+	}
+	if s.Steps > 1 {
+		mut(func(c *Scenario) { c.Steps = 1 })
+		if s.Steps > 2 {
+			mut(func(c *Scenario) { c.Steps = s.Steps / 2 })
+		}
+		mut(func(c *Scenario) { c.Steps = s.Steps - 1 })
+	}
+	if len(s.Groups) > 1 {
+		mut(func(c *Scenario) { c.Groups = c.Groups[:len(c.Groups)-1] })
+	}
+	for i, g := range s.Groups {
+		i, g := i, g
+		if g.Procs > 1 {
+			mut(func(c *Scenario) { c.Groups[i].Procs = 1 })
+			if g.Procs > 2 {
+				mut(func(c *Scenario) { c.Groups[i].Procs = g.Procs / 2 })
+			}
+			mut(func(c *Scenario) { c.Groups[i].Procs = g.Procs - 1 })
+		}
+		if g.Perf != 1 {
+			mut(func(c *Scenario) { c.Groups[i].Perf = 1 })
+		}
+	}
+	if s.MaxLevel > 1 {
+		mut(func(c *Scenario) { c.MaxLevel = 1 })
+	}
+	if s.DomainN != domainSizes[0] {
+		mut(func(c *Scenario) { c.DomainN = domainSizes[0] })
+	}
+	if s.GridsPerProc > 1 {
+		mut(func(c *Scenario) { c.GridsPerProc = 1 })
+	}
+	if s.RegridInterval > 1 {
+		mut(func(c *Scenario) { c.RegridInterval = 1 })
+	}
+	if s.WithData {
+		mut(func(c *Scenario) { c.WithData = false })
+	}
+	if s.UseForecast {
+		mut(func(c *Scenario) { c.UseForecast = false })
+	}
+	if s.Traffic != 0 {
+		mut(func(c *Scenario) { c.Traffic = 0 })
+	}
+	if s.Wan {
+		mut(func(c *Scenario) { c.Wan = false })
+	}
+	if s.Dataset != "ShockPool3D" {
+		mut(func(c *Scenario) { c.Dataset = "ShockPool3D" })
+	}
+	if s.Gamma != 0 {
+		mut(func(c *Scenario) { c.Gamma = 0 })
+	}
+	if s.Eps != 0 {
+		mut(func(c *Scenario) { c.Eps = 0 })
+	}
+	if s.CkptInterval > 1 {
+		mut(func(c *Scenario) { c.CkptInterval = 1 })
+	}
+	return out
+}
+
+// clone deep-copies the scenario's slices so candidate mutations
+// never alias the original.
+func clone(s Scenario) Scenario {
+	c := s
+	c.Groups = append([]GroupDef(nil), s.Groups...)
+	if s.Faults != nil {
+		c.Faults = append([]fault.Event(nil), s.Faults...)
+	}
+	return c
+}
