@@ -43,32 +43,34 @@ import (
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "ShockPool3D", "ShockPool3D | AMR64 | SedovBlast | blob | uniform")
-		system   = flag.String("system", "wan", "wan | lan | origin (single machine)")
-		scheme   = flag.String("scheme", "distributed", "distributed | parallel | sfc")
-		n        = flag.Int("n", 4, "processors per group (origin: total)")
-		steps    = flag.Int("steps", 10, "level-0 time steps")
-		maxLevel = flag.Int("maxlevel", 2, "deepest refinement level")
-		domainN  = flag.Int("domain", 32, "level-0 domain cells per side")
-		seed     = flag.Int64("seed", 42, "workload and traffic seed")
-		gamma    = flag.Float64("gamma", 0, "gain/cost threshold (0 = default 2.0)")
-		withData = flag.Bool("data", false, "carry and advance real field data")
-		traceOut = flag.Bool("trace", false, "print the event trace")
-		series   = flag.Bool("series", false, "print per-step time series")
-		saveTo   = flag.String("save", "", "write a hierarchy checkpoint to this file after the run")
-		faultsIn = flag.String("faults", "", "fault script file (see internal/fault): enables fault injection")
-		faultSd  = flag.Int64("faultseed", 0, "fault schedule seed (0 = use -seed)")
-		ckptIval = flag.Int("ckpt-interval", 0, "level-0 steps between recovery checkpoints (0 = default 4)")
-		ckptDir  = flag.String("ckpt-dir", "", "durable checkpoint store directory: write an on-disk generation every checkpoint interval")
-		ckptKeep = flag.Int("ckpt-keep", 0, "on-disk generations to retain (0 = default 3)")
-		resume   = flag.Bool("resume", false, "resume from the newest usable generation in -ckpt-dir instead of starting fresh")
-		stopAftr = flag.Int("stop-after", -1, "exit with status 3 after this level-0 step completes (simulated crash, for resume testing)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file after the run")
-		ledCheck = flag.Bool("ledgercheck", false, "verify the incremental load ledger against a full recomputation after every hierarchy mutation (slow; debug oracle)")
-		datCheck = flag.Bool("datacheck", false, "verify every planned ghost fill and restriction against the scan-based baseline, bit for bit (slow; debug oracle)")
-		invCheck = flag.Bool("invariants", false, "audit every phase with the paper-invariant oracle; violations exit non-zero")
-		scenSpec = flag.String("scenario", "", "replay a property-harness scenario string under the invariant oracle (overrides the other run flags)")
+		dataset   = flag.String("dataset", "ShockPool3D", "ShockPool3D | AMR64 | SedovBlast | blob | uniform")
+		system    = flag.String("system", "wan", "wan | lan | origin (single machine)")
+		scheme    = flag.String("scheme", "distributed", "distributed | parallel | sfc")
+		n         = flag.Int("n", 4, "processors per group (origin: total)")
+		steps     = flag.Int("steps", 10, "level-0 time steps")
+		maxLevel  = flag.Int("maxlevel", 2, "deepest refinement level")
+		domainN   = flag.Int("domain", 32, "level-0 domain cells per side")
+		seed      = flag.Int64("seed", 42, "workload and traffic seed")
+		gamma     = flag.Float64("gamma", 0, "gain/cost threshold (0 = default 2.0)")
+		withData  = flag.Bool("data", false, "carry and advance real field data")
+		traceOut  = flag.Bool("trace", false, "print the event trace")
+		series    = flag.Bool("series", false, "print per-step time series")
+		saveTo    = flag.String("save", "", "write a hierarchy checkpoint to this file after the run")
+		faultsIn  = flag.String("faults", "", "fault script file (see internal/fault): enables fault injection")
+		faultSd   = flag.Int64("faultseed", 0, "fault schedule seed (0 = use -seed)")
+		ckptIval  = flag.Int("ckpt-interval", 0, "level-0 steps between recovery checkpoints (0 = default 4)")
+		ckptDir   = flag.String("ckpt-dir", "", "durable checkpoint store directory: write an on-disk generation every checkpoint interval")
+		ckptKeep  = flag.Int("ckpt-keep", 0, "on-disk generations to retain (0 = default 3)")
+		resume    = flag.Bool("resume", false, "resume from the newest usable generation in -ckpt-dir instead of starting fresh")
+		stopAftr  = flag.Int("stop-after", -1, "exit with status 3 after this level-0 step completes (simulated crash, for resume testing)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file after the run")
+		ledCheck  = flag.Bool("ledgercheck", false, "verify the incremental load ledger against a full recomputation after every hierarchy mutation (slow; debug oracle)")
+		datCheck  = flag.Bool("datacheck", false, "verify every planned ghost fill and restriction against the scan-based baseline, bit for bit (slow; debug oracle)")
+		invCheck  = flag.Bool("invariants", false, "audit every phase with the paper-invariant oracle; violations exit non-zero")
+		scenSpec  = flag.String("scenario", "", "replay a property-harness scenario string under the invariant oracle (overrides the other run flags)")
+		quorum    = flag.Int("quorum", 0, "per-group minimum of admitted processors before the group degrades to local-only balancing (0 = default 1)")
+		recReport = flag.Bool("recovery-report", false, "print the retry/backoff/suspicion and rejoin counters after the run")
 	)
 	flag.Parse()
 
@@ -174,6 +176,7 @@ func main() {
 		Trace:              tr,
 		History:            hist,
 		Faults:             sched,
+		GroupQuorum:        *quorum,
 		CheckpointInterval: *ckptIval,
 		CheckpointDir:      *ckptDir,
 		CheckpointKeep:     *ckptKeep,
@@ -246,6 +249,13 @@ func main() {
 	}
 	if res.Faulty() {
 		fmt.Printf("\nFault injection summary:\n%s", res.FaultSummary())
+	}
+	if *recReport {
+		if s := res.RecoveryReport(); s != "" {
+			fmt.Printf("\nRecovery report:\n%s", s)
+		} else {
+			fmt.Println("\nRecovery report: no retries, suspicion or rejoins")
+		}
 	}
 
 	if *saveTo != "" {

@@ -115,6 +115,23 @@ type Meta struct {
 	CkptFallbacks  int
 	PristineResets int
 	CorruptGens    int
+
+	// Elastic-membership state (meaningful only when HasFaults; absent
+	// — nil/zero — on generations written before the membership
+	// tracker existed, which restore as "everyone alive"). MembState,
+	// MembCause and MembReadmit are per-processor; MembSuspicion and
+	// MembEvidence are per-group.
+	MembState     []int
+	MembCause     []int
+	MembReadmit   []int
+	MembSuspicion []int
+	MembEvidence  []bool
+	// Membership counters, cumulative from the start of the campaign.
+	MembSuspects    int
+	MembSuspectDead int
+	MembRejoins     int
+	MembCatchups    int
+	MembQuorumSteps int
 }
 
 // DiskFault injects deterministic corruption into checkpoint writes.

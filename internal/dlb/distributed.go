@@ -181,6 +181,7 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 		return d
 	}
 	alphaHat, betaHat, probeT, retryT, attempts, perr := link.ProbeWithRetry(ctx.now(), ctx.Retry)
+	d.ProbedA, d.ProbedB = donor, recv
 	d.ProbeTime = probeT
 	d.RetryTime = retryT
 	d.ProbeAttempts = attempts

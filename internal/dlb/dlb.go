@@ -62,6 +62,11 @@ type Context struct {
 	// at time t; the global phase must then skip it as donor and
 	// receiver (fault-driven degraded mode).
 	Quarantined func(group int, t float64) bool
+	// Admitted, when non-nil, reports whether a processor is admitted
+	// to own work under elastic membership: dead and rejoining procs
+	// are excluded from placement and balancing targets until the
+	// engine re-admits them. Nil admits every alive processor.
+	Admitted func(p int) bool
 	// Retry bounds the probe retry/backoff loop (zero value = netsim
 	// defaults).
 	Retry netsim.RetryPolicy
@@ -148,6 +153,10 @@ type GlobalDecision struct {
 	UsedForecast  bool
 	Quarantined   []int
 	Degraded      bool
+	// ProbedA and ProbedB are the two groups whose link the global
+	// phase probed (donor and receiver); valid when ProbeAttempts > 0.
+	// The engine feeds probe outcomes into membership suspicion.
+	ProbedA, ProbedB int
 }
 
 // Balancer is a dynamic load-balancing scheme driven by the SAMR

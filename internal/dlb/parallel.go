@@ -47,11 +47,16 @@ func (ParallelDLB) GlobalBalance(ctx *Context) GlobalDecision {
 	}
 }
 
-// allProcs returns every non-failed processor; only when every single
-// processor has failed does it fall back to the full set (there is no
-// better choice left, and the run is over anyway).
+// allProcs returns every admitted non-failed processor. Fallback
+// chain: admitted ∩ alive → alive → all (only when every single
+// processor has failed is there no better choice left, and the run is
+// over anyway).
 func allProcs(ctx *Context) []int {
-	if alive := ctx.Sys.AliveProcs(); len(alive) > 0 {
+	alive := ctx.Sys.AliveProcs()
+	if adm := admittedOf(ctx, alive); len(adm) > 0 {
+		return adm
+	}
+	if len(alive) > 0 {
 		return alive
 	}
 	procs := make([]int, ctx.Sys.NumProcs())
@@ -61,11 +66,31 @@ func allProcs(ctx *Context) []int {
 	return procs
 }
 
-// groupProcs returns group g's non-failed processors ascending,
-// falling back to the whole group when every member has failed.
+// groupProcs returns group g's admitted non-failed processors
+// ascending, with the same fallback chain as allProcs scoped to the
+// group.
 func groupProcs(ctx *Context, g int) []int {
-	if alive := ctx.Sys.AliveInGroup(g); len(alive) > 0 {
+	alive := ctx.Sys.AliveInGroup(g)
+	if adm := admittedOf(ctx, alive); len(adm) > 0 {
+		return adm
+	}
+	if len(alive) > 0 {
 		return alive
 	}
 	return sortedCopy(ctx.Sys.ProcsInGroup(g))
+}
+
+// admittedOf filters procs through the membership admission predicate
+// (identity when none is attached).
+func admittedOf(ctx *Context, procs []int) []int {
+	if ctx.Admitted == nil {
+		return procs
+	}
+	out := make([]int, 0, len(procs))
+	for _, p := range procs {
+		if ctx.Admitted(p) {
+			out = append(out, p)
+		}
+	}
+	return out
 }

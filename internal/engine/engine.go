@@ -125,6 +125,19 @@ type Options struct {
 	// Retry bounds the probe retry/backoff loop of the global phase
 	// (zero value = netsim defaults).
 	Retry netsim.RetryPolicy
+	// GroupQuorum is the minimum admitted processors a group needs to
+	// take part in global balancing under elastic membership; below it
+	// the group degrades to local-only decisions via the quarantine
+	// path (0 = default 1, i.e. a group degrades only when every
+	// member is dead or rejoining). Only meaningful with Faults.
+	GroupQuorum int
+	// SuspectAfter and DeadAfter are the membership suspicion
+	// thresholds: after SuspectAfter consecutive probe failures
+	// against a group its processors are suspected, after DeadAfter
+	// they are presumed dead (0 = defaults 2 and 4). Only meaningful
+	// with Faults.
+	SuspectAfter int
+	DeadAfter    int
 	// LedgerCheck enables the load-ledger debug oracle: after every
 	// hierarchy mutation event the incremental aggregates are verified
 	// against a full recomputation (panic on divergence), and the
@@ -228,6 +241,7 @@ type Runner struct {
 	lastFailCheck float64      // end of the last failure-scan window
 	failedSet     map[int]bool
 	wasQuar       bool // a group was quarantined at the last boundary
+	memb          *machine.Membership
 
 	// Durable checkpoint state (active only when opt.CheckpointDir is
 	// set, except for the fallback counters, which the in-memory
@@ -351,6 +365,8 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 		}
 		r.failedSet = make(map[int]bool)
 		r.ckptStep = -1
+		r.memb = machine.NewMembership(sys, opt.SuspectAfter, opt.DeadAfter, opt.GroupQuorum)
+		r.ctx.Admitted = r.memb.Admitted
 	}
 	if opt.CheckpointDir != "" {
 		st, err := ckpt.Open(opt.CheckpointDir, opt.CheckpointKeep)
@@ -497,6 +513,12 @@ func (r *Runner) groupQuarantined(g int, t float64) bool {
 	if f == nil {
 		return false
 	}
+	if r.memb.BelowQuorum(g) {
+		// Too few admitted processors: the group cannot meaningfully
+		// donate or receive global work, so it degrades to local-only
+		// balancing through the same path as an unreachable group.
+		return true
+	}
 	if f.GroupDown(g, t) {
 		return true
 	}
@@ -514,15 +536,41 @@ func (r *Runner) groupQuarantined(g int, t float64) bool {
 
 // applySlowdowns refreshes the health vector from the fault schedule
 // at the current virtual time: slowdown windows scale effective
-// performance; failed processors drop to zero.
+// performance; failed processors drop to zero. A previously failed
+// processor whose factor came back positive — a bounded outage window
+// closed, or a scripted proc-recover fired — is healthy again but not
+// yet admitted: it enters the rejoining state and owns no new work
+// until the next global boundary re-admits it.
 func (r *Runner) applySlowdowns() {
 	now := r.clock.Now()
+	revivedOwning := false
 	for p := 0; p < r.sys.NumProcs(); p++ {
 		f := r.opt.Faults.ProcFactor(p, now)
 		if f > 1 {
 			f = 1
 		}
+		if f > 0 && r.failedSet[p] {
+			delete(r.failedSet, p)
+			r.memb.BeginRejoin(p)
+			r.opt.Trace.Add(trace.Membership, 0, now,
+				fmt.Sprintf("processor %d healthy again; rejoin pending", p))
+			if r.ownsCells(p) {
+				revivedOwning = true
+			}
+		}
 		r.sys.SetHealth(p, f)
+	}
+	if revivedOwning {
+		// A returning processor that still owns grids means a recovery
+		// ran with no alive processor to repartition onto (grids stayed
+		// with their dead owners). The processors coming back now are
+		// the only capacity there is: repartition over them and re-admit
+		// on the spot — waiting for the boundary would leave work parked
+		// on crash-rejoining or still-dead processors.
+		r.repartition()
+		r.completePendingRejoins(r.curStep)
+		r.opt.Trace.Add(trace.Membership, 0, now,
+			"capacity returned after total failure; repartitioned and re-admitted")
 	}
 }
 
@@ -540,6 +588,7 @@ func (r *Runner) detectFailures() bool {
 		}
 		r.failedSet[p] = true
 		r.sys.SetHealth(p, 0)
+		r.memb.Crash(p)
 		hit = true
 		r.opt.Trace.Add(trace.Fault, 0, now, fmt.Sprintf("processor %d failed", p))
 	}
@@ -655,6 +704,18 @@ func (r *Runner) snapshotMeta(step int) *ckpt.Meta {
 		m.CatchupEvals = r.catchupEvals
 		m.Recoveries = r.recoveries
 		m.RecoveryTime = r.recoveryTime
+		if r.memb != nil {
+			m.MembState = r.memb.StateVec()
+			m.MembCause = r.memb.CauseVec()
+			m.MembReadmit = r.memb.ReadmitVec()
+			m.MembSuspicion = r.memb.SuspicionVec()
+			m.MembEvidence = r.memb.EvidenceVec()
+			m.MembSuspects = r.memb.SuspectTransitions
+			m.MembSuspectDead = r.memb.SuspectedToDead
+			m.MembRejoins = r.memb.Rejoins
+			m.MembCatchups = r.memb.RejoinCatchups
+			m.MembQuorumSteps = r.memb.QuorumDegradedSteps
+		}
 	}
 	return m
 }
@@ -698,7 +759,29 @@ func (r *Runner) recoverFromCheckpoint() int {
 	if pristine {
 		r.initLevel0()
 	}
+	// Outage windows that closed during the lost span: those processors
+	// are healthy again, and the repartition below must spread work
+	// over them too.
+	for p := 0; p < r.sys.NumProcs(); p++ {
+		if !r.failedSet[p] {
+			continue
+		}
+		if f := r.opt.Faults.ProcFactor(p, now); f > 0 {
+			if f > 1 {
+				f = 1
+			}
+			delete(r.failedSet, p)
+			r.sys.SetHealth(p, f)
+			r.memb.BeginRejoin(p)
+			r.opt.Trace.Add(trace.Membership, 0, now,
+				fmt.Sprintf("processor %d healthy again; rejoin pending", p))
+		}
+	}
 	r.repartition()
+	// The recovery repartition spreads work over every alive processor,
+	// rejoining ones included: it is their re-admission, so no separate
+	// catch-up evaluation is needed.
+	r.completePendingRejoins(step)
 	restore := float64(r.ledger.TotalCells()) * checkpointFlopsPerCell / r.sys.FlopsPerSecond
 	r.clock.AddUniform(vclock.Recovery, restore)
 	r.recoveries++
@@ -1089,6 +1172,7 @@ func (r *Runner) globalBalance() {
 		r.opt.History.Record("remote-comm", r.clock.PhaseTotal(vclock.RemoteComm))
 	}
 	if r.opt.Faults != nil {
+		r.noteMembership()
 		r.noteQuarantine()
 	}
 	if r.opt.LedgerCheck {
@@ -1135,6 +1219,12 @@ func (r *Runner) globalBalance() {
 		r.opt.Trace.Add(trace.Fault, 0, r.clock.Now(), "probe failed; cost model fell back to forecast")
 	} else if d.ProbeFailed {
 		r.opt.Trace.Add(trace.Fault, 0, r.clock.Now(), "probe failed; no forecast history; redistribution skipped")
+	}
+	if d.ProbeAttempts > 0 {
+		// The probe outcome is the membership tracker's evidence stream:
+		// retry exhaustion raises suspicion against both endpoint
+		// groups, success clears it.
+		r.noteProbeEvidence(d.ProbedA, d.ProbedB, d.ProbeFailed)
 	}
 	if d.Invoked {
 		if d.Evaluated {
@@ -1259,6 +1349,13 @@ func (r *Runner) result() *metrics.Result {
 		res.Recoveries = r.recoveries
 		res.RecoveryTime = r.recoveryTime
 		res.FailedProcs = len(r.failedSet)
+		if r.memb != nil {
+			res.SuspectTransitions = r.memb.SuspectTransitions
+			res.SuspectedDead = r.memb.SuspectedToDead
+			res.Rejoins = r.memb.Rejoins
+			res.RejoinCatchups = r.memb.RejoinCatchups
+			res.QuorumDegradedSteps = r.memb.QuorumDegradedSteps
+		}
 	}
 	res.DiskCheckpoints = r.diskCkptWrites
 	res.DiskCheckpointErrors = r.diskCkptErrors

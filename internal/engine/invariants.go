@@ -79,6 +79,10 @@ func (r *Runner) Recorder() *load.Recorder { return r.rec }
 // Context exposes the DLB context (for invariant checkers).
 func (r *Runner) Context() *dlb.Context { return r.ctx }
 
+// Membership exposes the elastic-membership tracker (nil on runs
+// without fault injection).
+func (r *Runner) Membership() *machine.Membership { return r.memb }
+
 // RunnerOptions returns a copy of the effective options (defaults
 // applied).
 func (r *Runner) RunnerOptions() Options { return r.opt }

@@ -141,6 +141,26 @@ func (r *Runner) restoreFromMeta(m *ckpt.Meta) error {
 			r.failedSet[p] = true
 			r.sys.SetHealth(p, 0)
 		}
+		if r.memb != nil {
+			if m.MembState != nil {
+				if err := r.memb.Restore(m.MembState, m.MembCause, m.MembReadmit,
+					m.MembSuspicion, m.MembEvidence); err != nil {
+					return err
+				}
+				r.memb.SuspectTransitions = m.MembSuspects
+				r.memb.SuspectedToDead = m.MembSuspectDead
+				r.memb.Rejoins = m.MembRejoins
+				r.memb.RejoinCatchups = m.MembCatchups
+				r.memb.QuorumDegradedSteps = m.MembQuorumSteps
+			} else {
+				// Pre-membership generation: the failed set is the only
+				// record — mark those procs crashed so a later scripted
+				// recovery still routes through the rejoin protocol.
+				for _, p := range m.FailedProcs {
+					r.memb.Crash(p)
+				}
+			}
+		}
 		entries := make([]fault.ProbeSeqEntry, 0, len(m.ProbeSeq))
 		for _, e := range m.ProbeSeq {
 			entries = append(entries, fault.ProbeSeqEntry{A: e.A, B: e.B, N: e.N})

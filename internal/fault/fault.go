@@ -54,6 +54,14 @@ const (
 	// DiskWriteError makes checkpoint writes inside [Start, End) fail
 	// outright (a full disk or dying controller); nothing lands.
 	DiskWriteError
+	// ProcRecovery revives processor Proc at time Start: any failure in
+	// effect ends (a windowed one early, a permanent one at all). The
+	// event is instantaneous — End must be 0.
+	ProcRecovery
+	// GroupReconnect restores group Group's connectivity at time Start,
+	// cancelling any GroupDisconnect window in effect. Instantaneous —
+	// End must be 0.
+	GroupReconnect
 )
 
 func (k Kind) String() string {
@@ -76,13 +84,23 @@ func (k Kind) String() string {
 		return "disk-bit-flip"
 	case DiskWriteError:
 		return "disk-write-error"
+	case ProcRecovery:
+		return "proc-recover"
+	case GroupReconnect:
+		return "group-reconnect"
 	default:
 		return "unknown"
 	}
 }
 
 // Event is one scripted fault. Times are virtual (vclock) seconds;
-// windows are half-open [Start, End). ProcFailure ignores End.
+// windows are half-open [Start, End).
+//
+// ProcFailure's End is an implicit recovery time: End > Start bounds
+// the outage to [Start, End) and the processor rejoins at End, while
+// End == 0 or End == Start (the script parser's shorthand) means the
+// failure is permanent. An End before Start is rejected. ProcRecovery
+// and GroupReconnect are instantaneous (End must be 0).
 type Event struct {
 	Kind Kind
 	// Start and End bound the event window.
@@ -111,6 +129,9 @@ func (e Event) String() string {
 	case ProcSlowdown:
 		return fmt.Sprintf("proc-slow proc=%d start=%g end=%g factor=%g", e.Proc, e.Start, e.End, e.Factor)
 	case ProcFailure:
+		if e.End > e.Start {
+			return fmt.Sprintf("proc-fail proc=%d at=%g end=%g", e.Proc, e.Start, e.End)
+		}
 		return fmt.Sprintf("proc-fail proc=%d at=%g", e.Proc, e.Start)
 	case GroupDisconnect:
 		return fmt.Sprintf("group-disconnect group=%d start=%g end=%g", e.Group, e.Start, e.End)
@@ -120,6 +141,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("disk-bit-flip start=%g end=%g", e.Start, e.End)
 	case DiskWriteError:
 		return fmt.Sprintf("disk-write-error start=%g end=%g", e.Start, e.End)
+	case ProcRecovery:
+		return fmt.Sprintf("proc-recover proc=%d at=%g", e.Proc, e.Start)
+	case GroupReconnect:
+		return fmt.Sprintf("group-reconnect group=%d at=%g", e.Group, e.Start)
 	default:
 		return fmt.Sprintf("unknown(%d)", int(e.Kind))
 	}
@@ -130,19 +155,33 @@ func (e Event) validate() error {
 	if e.Start < 0 {
 		return fmt.Errorf("%s: negative start %g", e.Kind, e.Start)
 	}
-	if e.Kind != ProcFailure && e.End <= e.Start {
-		return fmt.Errorf("%s: empty window [%g, %g)", e.Kind, e.Start, e.End)
+	switch e.Kind {
+	case ProcFailure:
+		// End > Start is a bounded outage (the proc rejoins at End);
+		// End == 0 or End == Start means permanent. Anything else is
+		// a recovery scheduled before the failure — reject it.
+		if e.End != 0 && e.End < e.Start {
+			return fmt.Errorf("proc-fail: end %g before start %g (use end=0 or end=start for a permanent failure)", e.End, e.Start)
+		}
+	case ProcRecovery, GroupReconnect:
+		if e.End != 0 {
+			return fmt.Errorf("%s: instantaneous event must have end=0, got %g", e.Kind, e.End)
+		}
+	default:
+		if e.End <= e.Start {
+			return fmt.Errorf("%s: empty window [%g, %g)", e.Kind, e.Start, e.End)
+		}
 	}
 	switch e.Kind {
 	case LinkOutage, LinkDegrade, ProbeLoss:
 		if e.A < 0 || e.B < 0 {
 			return fmt.Errorf("%s: negative group in pair (%d, %d)", e.Kind, e.A, e.B)
 		}
-	case ProcSlowdown, ProcFailure:
+	case ProcSlowdown, ProcFailure, ProcRecovery:
 		if e.Proc < 0 {
 			return fmt.Errorf("%s: negative proc %d", e.Kind, e.Proc)
 		}
-	case GroupDisconnect:
+	case GroupDisconnect, GroupReconnect:
 		if e.Group < 0 {
 			return fmt.Errorf("%s: negative group %d", e.Kind, e.Group)
 		}
@@ -234,11 +273,11 @@ func (s *Schedule) Validate(numProcs, numGroups int) error {
 			if e.A >= numGroups || e.B >= numGroups {
 				return fmt.Errorf("fault event %d (%s): group pair (%d, %d) out of range for %d groups", i, e.Kind, e.A, e.B, numGroups)
 			}
-		case ProcSlowdown, ProcFailure:
+		case ProcSlowdown, ProcFailure, ProcRecovery:
 			if e.Proc >= numProcs {
 				return fmt.Errorf("fault event %d (%s): proc %d out of range for %d processors", i, e.Kind, e.Proc, numProcs)
 			}
-		case GroupDisconnect:
+		case GroupDisconnect, GroupReconnect:
 			if e.Group >= numGroups {
 				return fmt.Errorf("fault event %d (%s): group %d out of range for %d groups", i, e.Kind, e.Group, numGroups)
 			}
@@ -271,19 +310,12 @@ func (s *Schedule) LinkDown(a, b int, t float64) bool {
 		return false
 	}
 	for _, e := range s.events {
-		if !e.in(t) {
-			continue
+		if e.Kind == LinkOutage && e.in(t) && e.matchesPair(a, b) {
+			return true
 		}
-		switch e.Kind {
-		case LinkOutage:
-			if e.matchesPair(a, b) {
-				return true
-			}
-		case GroupDisconnect:
-			if a != b && (e.Group == a || e.Group == b) {
-				return true
-			}
-		}
+	}
+	if a != b && (s.GroupDown(a, t) || s.GroupDown(b, t)) {
+		return true
 	}
 	return false
 }
@@ -333,23 +365,19 @@ func (s *Schedule) DropProbe(a, b int, t float64) bool {
 
 // ProcFactor returns processor p's speed multiplier at time t: the
 // product of every covering ProcSlowdown window, clamped below at
-// 0.01 so modelled compute time stays finite. A processor already
-// past its ProcFailure start returns 0.
+// 0.01 so modelled compute time stays finite. A dead processor
+// (see ProcDead) returns 0.
 func (s *Schedule) ProcFactor(p int, t float64) float64 {
 	if s == nil {
 		return 1
 	}
+	if s.ProcDead(p, t) {
+		return 0
+	}
 	f := 1.0
 	for _, e := range s.events {
-		switch e.Kind {
-		case ProcFailure:
-			if e.Proc == p && t >= e.Start {
-				return 0
-			}
-		case ProcSlowdown:
-			if e.Proc == p && e.in(t) {
-				f *= e.Factor
-			}
+		if e.Kind == ProcSlowdown && e.Proc == p && e.in(t) {
+			f *= e.Factor
 		}
 	}
 	if f < 0.01 {
@@ -358,17 +386,54 @@ func (s *Schedule) ProcFactor(p int, t float64) float64 {
 	return f
 }
 
-// GroupDown reports whether group g is disconnected at time t.
+// ProcDead reports whether processor p is failed at time t. The
+// events for p are replayed in start order: a ProcFailure kills it
+// (until End for a windowed failure, forever otherwise) and a
+// ProcRecovery revives it. On a start-time tie the recovery wins.
+func (s *Schedule) ProcDead(p int, t float64) bool {
+	if s == nil {
+		return false
+	}
+	dead := false
+	for _, e := range s.events {
+		if e.Start > t || e.Proc != p {
+			continue
+		}
+		switch e.Kind {
+		case ProcFailure:
+			if e.End > e.Start && t >= e.End {
+				continue // windowed failure already over
+			}
+			dead = true
+		case ProcRecovery:
+			dead = false
+		}
+	}
+	return dead
+}
+
+// GroupDown reports whether group g is disconnected at time t: a
+// GroupDisconnect window covers t and no later (or same-start —
+// reconnect wins ties) GroupReconnect has fired by t.
 func (s *Schedule) GroupDown(g int, t float64) bool {
 	if s == nil {
 		return false
 	}
+	down := false
 	for _, e := range s.events {
-		if e.Kind == GroupDisconnect && e.Group == g && e.in(t) {
-			return true
+		if e.Start > t || e.Group != g {
+			continue
+		}
+		switch e.Kind {
+		case GroupDisconnect:
+			if t < e.End {
+				down = true
+			}
+		case GroupReconnect:
+			down = false
 		}
 	}
-	return false
+	return down
 }
 
 // FailuresIn returns the processors whose ProcFailure fires in the
@@ -384,6 +449,54 @@ func (s *Schedule) FailuresIn(t0, t1 float64) []int {
 			seen[e.Proc] = true
 			out = append(out, e.Proc)
 		}
+	}
+	return out
+}
+
+// RecoveriesIn returns the processors with a scripted recovery point
+// in the window (t0, t1]: an explicit ProcRecovery start or the End of
+// a windowed ProcFailure. Ordered by recovery time then processor,
+// duplicates removed.
+func (s *Schedule) RecoveriesIn(t0, t1 float64) []int {
+	if s == nil {
+		return nil
+	}
+	type rec struct {
+		at   float64
+		proc int
+	}
+	var recs []rec
+	seen := map[int]bool{}
+	for _, e := range s.events {
+		var at float64
+		switch e.Kind {
+		case ProcRecovery:
+			at = e.Start
+		case ProcFailure:
+			if e.End <= e.Start {
+				continue
+			}
+			at = e.End
+		default:
+			continue
+		}
+		if at > t0 && at <= t1 && !seen[e.Proc] {
+			seen[e.Proc] = true
+			recs = append(recs, rec{at, e.Proc})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].at != recs[j].at {
+			return recs[i].at < recs[j].at
+		}
+		return recs[i].proc < recs[j].proc
+	})
+	out := make([]int, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, r.proc)
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -25,6 +25,12 @@ import (
 //	probe-loss between=0,1 start=1 end=4 prob=0.8
 //	link-outage between=0,1 start=5 end=9
 //	proc-fail proc=3 at=10.5
+//	# a bounded outage: proc 2 is down for [12, 20) and rejoins at 20
+//	proc-fail proc=2 at=12 end=20
+//	# explicit revival of a previously failed processor
+//	proc-recover proc=3 at=25
+//	# a disconnected group comes back
+//	group-reconnect group=1 at=14
 //	# checkpoint writes in the window land torn (40% survives)
 //	disk-torn-write start=2 end=6 factor=0.4
 
@@ -83,6 +89,10 @@ func parseLine(line string) (Event, error) {
 		e.Kind = DiskBitFlip
 	case "disk-write-error":
 		e.Kind = DiskWriteError
+	case "proc-recover":
+		e.Kind = ProcRecovery
+	case "group-reconnect":
+		e.Kind = GroupReconnect
 	default:
 		return e, fmt.Errorf("unknown event kind %q", fields[0])
 	}

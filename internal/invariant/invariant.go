@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"samrdlb/internal/engine"
+	"samrdlb/internal/machine"
 )
 
 // Violation is one observed breach of an invariant.
@@ -55,6 +56,12 @@ type Checker struct {
 	// MaxViolations bounds the accumulated list (0 = 64): a broken
 	// invariant tends to fire every phase thereafter.
 	MaxViolations int
+	// RejoinGraceSteps is the number of level-0 steps after a
+	// processor's re-admission during which the balance-tolerance
+	// check is suspended for its sets (0 = default 2): the catch-up
+	// redistribution and the following local phases need a boundary or
+	// two to absorb the returned capacity.
+	RejoinGraceSteps int
 
 	violations []Violation
 	truncated  bool
@@ -105,6 +112,7 @@ func (c *Checker) report(pi *engine.PhaseInfo, rule, format string, args ...inte
 func (c *Checker) Check(pi *engine.PhaseInfo) {
 	c.checkStructure(pi)
 	c.checkLedger(pi)
+	c.checkRejoinClean(pi)
 	switch pi.Phase {
 	case engine.PhaseLocalBalance:
 		if c.Colocation {
@@ -238,15 +246,94 @@ func (c *Checker) checkBalanceTolerance(pi *engine.PhaseInfo) {
 	sys := pi.Runner.System()
 	if c.Colocation {
 		for grp := 0; grp < sys.NumGroups(); grp++ {
-			c.checkSetBalance(pi, sys.AliveInGroup(grp), fmt.Sprintf("group %d", grp))
+			c.checkSetBalance(pi, admittedSet(pi, sys.AliveInGroup(grp)), fmt.Sprintf("group %d", grp))
 		}
 	} else {
-		c.checkSetBalance(pi, sys.AliveProcs(), "all processors")
+		c.checkSetBalance(pi, admittedSet(pi, sys.AliveProcs()), "all processors")
+	}
+}
+
+// admittedSet intersects procs with the elastic-membership admission
+// predicate: presumed-dead and rejoining processors are outside the
+// balancer's reach, so the tolerance claim does not cover them.
+// Identity when the run has no membership tracker.
+func admittedSet(pi *engine.PhaseInfo, procs []int) []int {
+	memb := pi.Runner.Membership()
+	if memb == nil {
+		return procs
+	}
+	out := make([]int, 0, len(procs))
+	for _, p := range procs {
+		if memb.Admitted(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// inRejoinGrace reports whether any processor of the set completed a
+// rejoin within the last RejoinGraceSteps level-0 steps: the catch-up
+// machinery is still absorbing the returned capacity, so the balance
+// tolerance is granted a short grace window (it must hold again once
+// the window closes).
+func (c *Checker) inRejoinGrace(pi *engine.PhaseInfo, procs []int) bool {
+	memb := pi.Runner.Membership()
+	if memb == nil {
+		return false
+	}
+	grace := c.RejoinGraceSteps
+	if grace <= 0 {
+		grace = 2
+	}
+	for _, p := range procs {
+		if rs := memb.ReadmitStep(p); rs >= 0 && pi.Step-rs < grace {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRejoinClean asserts the rejoin protocol's core promise at every
+// phase: a processor rejoining after a crash owns nothing until its
+// re-admission completes (its grids were lost with it; re-population
+// happens only through the catch-up redistribution or a recovery
+// repartition, both of which complete the rejoin first). Presumed-dead
+// rejoins keep their grids by design — quarantine semantics — and are
+// not checked.
+func (c *Checker) checkRejoinClean(pi *engine.PhaseInfo) {
+	memb := pi.Runner.Membership()
+	if memb == nil {
+		return
+	}
+	sys, h := pi.Runner.System(), pi.Runner.Hierarchy()
+	var pending map[int]bool
+	for p := 0; p < sys.NumProcs(); p++ {
+		if memb.State(p) == machine.StateRejoining && memb.Cause(p) == machine.CauseCrash {
+			if pending == nil {
+				pending = make(map[int]bool)
+			}
+			pending[p] = true
+		}
+	}
+	if pending == nil {
+		return
+	}
+	for l := 0; l <= h.MaxLevel; l++ {
+		for _, g := range h.Grids(l) {
+			if pending[g.Owner] {
+				c.report(pi, "rejoin-clean",
+					"grid %d (level %d) owned by crash-rejoining processor %d before re-admission",
+					g.ID, l, g.Owner)
+			}
+		}
 	}
 }
 
 func (c *Checker) checkSetBalance(pi *engine.PhaseInfo, procs []int, label string) {
 	if len(procs) < 2 {
+		return
+	}
+	if c.inRejoinGrace(pi, procs) {
 		return
 	}
 	r := pi.Runner

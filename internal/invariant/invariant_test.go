@@ -7,6 +7,7 @@ import (
 
 	"samrdlb/internal/dlb"
 	"samrdlb/internal/engine"
+	"samrdlb/internal/fault"
 	"samrdlb/internal/invariant"
 	"samrdlb/internal/machine"
 	"samrdlb/internal/workload"
@@ -136,5 +137,80 @@ func TestCheckerTruncatesViolationFlood(t *testing.T) {
 	}
 	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "dropped") {
 		t.Fatalf("capped report must mention dropped violations: %v", err)
+	}
+}
+
+// TestCheckerCleanAcrossRejoins is the acceptance scenario under the
+// oracle: every group loses and regains a processor to bounded outage
+// windows, and the full run — degradation, recovery, rejoin, catch-up
+// — must hold every invariant including the rejoin rules.
+func TestCheckerCleanAcrossRejoins(t *testing.T) {
+	// Boundary clocks from a schedule-free run (empty schedule keeps
+	// the checkpoint charging identical) place the outage windows.
+	empty, err := fault.NewSchedule(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bt []float64
+	engine.New(machine.WanPair(4, nil), workload.NewShockPool3D(16, 2), engine.Options{
+		Steps: 8, MaxLevel: 1, Faults: empty,
+		AfterStep: func(step int, rr *engine.Runner) { bt = append(bt, rr.Clock().Now()) },
+	}).Run()
+
+	sched, err := fault.NewSchedule(7,
+		fault.Event{Kind: fault.ProcFailure, Proc: 1,
+			Start: (bt[0] + bt[1]) / 2, End: (bt[2] + bt[3]) / 2},
+		fault.Event{Kind: fault.ProcFailure, Proc: 5,
+			Start: (bt[1] + bt[2]) / 2, End: (bt[3] + bt[4]) / 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := invariant.New(true)
+	r := engine.New(machine.WanPair(4, nil), workload.NewShockPool3D(16, 2), engine.Options{
+		Steps: 8, MaxLevel: 1, Faults: sched, Invariants: c.Check,
+	})
+	res := r.Run()
+	if err := c.Err(); err != nil {
+		t.Fatalf("rejoin run violated invariants: %v", err)
+	}
+	if res.Rejoins != 2 {
+		t.Fatalf("setup: both procs must rejoin, got %d", res.Rejoins)
+	}
+}
+
+// TestCheckerCatchesDirtyRejoin hand-assigns a grid to a processor
+// that is rejoining after a crash — exactly the state the rejoin-clean
+// rule exists to forbid (a crash loses the proc's grids; nothing may
+// be placed on it before re-admission completes).
+func TestCheckerCatchesDirtyRejoin(t *testing.T) {
+	empty, err := fault.NewSchedule(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := invariant.New(true)
+	r := engine.New(machine.WanPair(2, nil), workload.NewShockPool3D(16, 2), engine.Options{
+		Steps: 2, MaxLevel: 1, Faults: empty, Invariants: c.Check,
+	})
+	r.Run()
+	before := len(c.Violations())
+
+	grids := r.Hierarchy().Grids(1)
+	if len(grids) == 0 {
+		t.Fatal("run produced no level-1 grids")
+	}
+	p := grids[0].Owner
+	r.Membership().Crash(p)
+	r.Membership().BeginRejoin(p)
+	c.Check(&engine.PhaseInfo{Phase: engine.PhaseRegrid, Step: 3, Runner: r})
+
+	found := false
+	for _, v := range c.Violations()[before:] {
+		if v.Rule == "rejoin-clean" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("grid on a crash-rejoining proc not caught; violations: %v", c.Violations()[before:])
 	}
 }

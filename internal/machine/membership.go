@@ -1,0 +1,385 @@
+package machine
+
+import "fmt"
+
+// ProcState is a processor's position in the elastic-membership state
+// machine: alive → suspected → dead → rejoining → alive. Suspicion is
+// evidence-driven (probe retry exhaustion against the proc's group);
+// death is either scripted truth (a ProcFailure observed by the
+// engine, CauseCrash) or accumulated suspicion (CausePresumed). A dead
+// processor that shows signs of life — a scripted recovery, the end of
+// a bounded failure window, or suspicion draining away — moves to
+// rejoining, and stays there (owning no new work) until the engine
+// re-admits it at a global-balance boundary.
+type ProcState int
+
+// Membership states.
+const (
+	StateAlive ProcState = iota
+	StateSuspected
+	StateDead
+	StateRejoining
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspected:
+		return "suspected"
+	case StateDead:
+		return "dead"
+	case StateRejoining:
+		return "rejoining"
+	default:
+		return "unknown"
+	}
+}
+
+// DeathCause distinguishes how a processor reached StateDead: a crash
+// observed from the fault schedule loses the proc's grids (checkpoint
+// recovery reassigns them), while a presumed death from probe
+// suspicion keeps them — the proc may well still be computing behind
+// an unreachable network, exactly like a quarantined group.
+type DeathCause int
+
+// Death causes.
+const (
+	CauseNone DeathCause = iota
+	CauseCrash
+	CausePresumed
+)
+
+func (c DeathCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseCrash:
+		return "crash"
+	case CausePresumed:
+		return "presumed"
+	default:
+		return "unknown"
+	}
+}
+
+// Membership tracks the elastic-membership state machine over a
+// System's processors. Suspicion accumulates per group (probes travel
+// group-to-group, so the evidence cannot single out a processor) and
+// decays by one per boundary without fresh evidence, so a group that
+// stops being probed — e.g. because suspicion itself degraded the run
+// to local-only balancing — recovers instead of deadlocking.
+//
+// All transitions are pure functions of the sequence of Note*/Tick
+// calls, keeping replay byte-identical.
+type Membership struct {
+	sys     *System
+	state   []ProcState
+	cause   []DeathCause
+	readmit []int // step at which the proc was last re-admitted (-1 = never)
+
+	suspicion []int  // per group: consecutive-evidence suspicion level
+	evidence  []bool // per group: fresh probe evidence since the last tick
+
+	// SuspectAfter and DeadAfter are the suspicion thresholds: a group
+	// whose suspicion reaches SuspectAfter has its alive procs marked
+	// suspected; at DeadAfter the suspected procs are presumed dead.
+	SuspectAfter, DeadAfter int
+	// Quorum is the minimum admitted processors a group needs to take
+	// part in global balancing; below it the group degrades to
+	// local-only decisions via the quarantine path.
+	Quorum int
+
+	// Counters, exposed through engine.Result.
+	SuspectTransitions  int // alive → suspected
+	SuspectedToDead     int // suspected → presumed dead
+	Rejoins             int // completed re-admissions
+	RejoinCatchups      int // forced catch-up evaluations armed by rejoins
+	QuorumDegradedSteps int // boundaries at which some group was below quorum
+}
+
+// NewMembership builds a tracker with every processor alive.
+// Threshold or quorum values ≤ 0 fall back to defaults (suspect after
+// 2, presume dead after 4, quorum 1).
+func NewMembership(sys *System, suspectAfter, deadAfter, quorum int) *Membership {
+	if suspectAfter <= 0 {
+		suspectAfter = 2
+	}
+	if deadAfter <= suspectAfter {
+		deadAfter = suspectAfter + 2
+	}
+	if quorum <= 0 {
+		quorum = 1
+	}
+	m := &Membership{
+		sys:          sys,
+		state:        make([]ProcState, sys.NumProcs()),
+		cause:        make([]DeathCause, sys.NumProcs()),
+		readmit:      make([]int, sys.NumProcs()),
+		suspicion:    make([]int, sys.NumGroups()),
+		evidence:     make([]bool, sys.NumGroups()),
+		SuspectAfter: suspectAfter,
+		DeadAfter:    deadAfter,
+		Quorum:       quorum,
+	}
+	for p := range m.readmit {
+		m.readmit[p] = -1
+	}
+	return m
+}
+
+// State returns processor p's membership state.
+func (m *Membership) State(p int) ProcState { return m.state[p] }
+
+// Cause returns how processor p reached StateDead (or the cause of the
+// rejoin in flight); CauseNone for procs that never died.
+func (m *Membership) Cause(p int) DeathCause { return m.cause[p] }
+
+// Admitted reports whether processor p may own work: alive and
+// suspected procs are admitted, dead and rejoining ones are not. A nil
+// Membership admits everyone (fault-free runs never build a tracker).
+func (m *Membership) Admitted(p int) bool {
+	if m == nil {
+		return true
+	}
+	return m.state[p] == StateAlive || m.state[p] == StateSuspected
+}
+
+// NumAdmitted returns how many of group g's processors are admitted.
+func (m *Membership) NumAdmitted(g int) int {
+	n := 0
+	for _, p := range m.sys.ProcsInGroup(g) {
+		if m.Admitted(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// BelowQuorum reports whether group g has fewer admitted processors
+// than the quorum. Nil-safe: no tracker, no degradation.
+func (m *Membership) BelowQuorum(g int) bool {
+	if m == nil {
+		return false
+	}
+	return m.NumAdmitted(g) < m.Quorum
+}
+
+// Suspicion returns group g's current suspicion level.
+func (m *Membership) Suspicion(g int) int { return m.suspicion[g] }
+
+// ReadmitStep returns the level-0 step at which processor p last
+// completed a rejoin, or -1 if it never rejoined.
+func (m *Membership) ReadmitStep(p int) int {
+	if m == nil {
+		return -1
+	}
+	return m.readmit[p]
+}
+
+// Crash records a scripted processor failure observed by the engine:
+// p is dead with its grids lost, whatever suspicion said.
+func (m *Membership) Crash(p int) {
+	m.state[p] = StateDead
+	m.cause[p] = CauseCrash
+}
+
+// BeginRejoin moves a dead processor to StateRejoining: it is healthy
+// again (scripted recovery or the end of a bounded failure window) but
+// owns no new work until the engine re-admits it. The death cause is
+// kept so the oracle knows whether the proc must be empty. No-op for
+// procs that are not dead.
+func (m *Membership) BeginRejoin(p int) {
+	if m.state[p] != StateDead {
+		return
+	}
+	m.state[p] = StateRejoining
+}
+
+// PendingRejoins returns the processors currently in StateRejoining,
+// ascending. Nil when none (and on a nil tracker).
+func (m *Membership) PendingRejoins() []int {
+	if m == nil {
+		return nil
+	}
+	var out []int
+	for p, s := range m.state {
+		if s == StateRejoining {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CompleteRejoin re-admits a rejoining processor at level-0 step: it
+// is alive again, its death cause is cleared, and the step is recorded
+// so the oracle can grant a balance-tolerance grace window.
+func (m *Membership) CompleteRejoin(p, step int) {
+	if m.state[p] != StateRejoining {
+		return
+	}
+	m.state[p] = StateAlive
+	m.cause[p] = CauseNone
+	m.readmit[p] = step
+	m.Rejoins++
+}
+
+// NoteProbeFailure records that a global-phase probe touching group g
+// exhausted its retries: suspicion rises and thresholds re-apply.
+func (m *Membership) NoteProbeFailure(g int) {
+	if m == nil {
+		return
+	}
+	m.suspicion[g]++
+	if m.suspicion[g] > m.DeadAfter {
+		m.suspicion[g] = m.DeadAfter
+	}
+	m.evidence[g] = true
+	m.applyThresholds(g)
+}
+
+// NoteProbeSuccess records a successful probe touching group g: the
+// group is reachable, so suspicion resets and thresholds re-apply
+// (suspected procs recover, presumed-dead ones start rejoining).
+func (m *Membership) NoteProbeSuccess(g int) {
+	if m == nil {
+		return
+	}
+	m.suspicion[g] = 0
+	m.evidence[g] = true
+	m.applyThresholds(g)
+}
+
+// BoundaryTick advances the per-boundary suspicion decay: groups with
+// no fresh probe evidence since the last tick lose one suspicion
+// level, so a group nobody probes anymore (e.g. because its own
+// suspicion degraded the run) drains back towards admission instead of
+// deadlocking. Evidence flags reset for the next boundary.
+func (m *Membership) BoundaryTick() {
+	if m == nil {
+		return
+	}
+	for g := range m.suspicion {
+		if !m.evidence[g] && m.suspicion[g] > 0 {
+			m.suspicion[g]--
+			m.applyThresholds(g)
+		}
+		m.evidence[g] = false
+	}
+}
+
+// applyThresholds re-derives the suspicion-driven states of group g's
+// processors from its current suspicion level. Crash deaths and
+// in-flight rejoins are evidence the thresholds must not override:
+// only the alive ↔ suspected ↔ presumed-dead ladder is touched, and a
+// presumed-dead proc whose suspicion drops below DeadAfter starts
+// rejoining (it needs the engine's re-admission, not a silent flip).
+func (m *Membership) applyThresholds(g int) {
+	s := m.suspicion[g]
+	for _, p := range m.sys.ProcsInGroup(g) {
+		switch {
+		case s >= m.DeadAfter:
+			if m.state[p] == StateSuspected {
+				m.state[p] = StateDead
+				m.cause[p] = CausePresumed
+				m.SuspectedToDead++
+			}
+		case s >= m.SuspectAfter:
+			if m.state[p] == StateAlive {
+				m.state[p] = StateSuspected
+				m.SuspectTransitions++
+			}
+			if m.state[p] == StateDead && m.cause[p] == CausePresumed {
+				m.state[p] = StateRejoining
+			}
+		default:
+			if m.state[p] == StateSuspected {
+				m.state[p] = StateAlive
+			}
+			if m.state[p] == StateDead && m.cause[p] == CausePresumed {
+				m.state[p] = StateRejoining
+			}
+		}
+	}
+}
+
+// Snapshot/restore support for durable checkpoints: plain int/bool
+// vectors so ckpt.Meta stays gob-friendly and versionless fields
+// decode as empty on old generations.
+
+// StateVec returns a copy of the per-proc states as ints.
+func (m *Membership) StateVec() []int {
+	out := make([]int, len(m.state))
+	for i, s := range m.state {
+		out[i] = int(s)
+	}
+	return out
+}
+
+// CauseVec returns a copy of the per-proc death causes as ints.
+func (m *Membership) CauseVec() []int {
+	out := make([]int, len(m.cause))
+	for i, c := range m.cause {
+		out[i] = int(c)
+	}
+	return out
+}
+
+// ReadmitVec returns a copy of the per-proc re-admission steps.
+func (m *Membership) ReadmitVec() []int {
+	out := make([]int, len(m.readmit))
+	copy(out, m.readmit)
+	return out
+}
+
+// SuspicionVec returns a copy of the per-group suspicion levels.
+func (m *Membership) SuspicionVec() []int {
+	out := make([]int, len(m.suspicion))
+	copy(out, m.suspicion)
+	return out
+}
+
+// EvidenceVec returns a copy of the per-group fresh-evidence flags.
+func (m *Membership) EvidenceVec() []bool {
+	out := make([]bool, len(m.evidence))
+	copy(out, m.evidence)
+	return out
+}
+
+// Restore overwrites the tracker's state from checkpoint vectors.
+// Vectors may be nil (old generations): the corresponding state is
+// left at its reset value. Length mismatches are a corrupt checkpoint.
+func (m *Membership) Restore(states, causes, readmits, suspicion []int, evidence []bool) error {
+	if err := restoreInts("states", states, len(m.state), func(i, v int) { m.state[i] = ProcState(v) }); err != nil {
+		return err
+	}
+	if err := restoreInts("causes", causes, len(m.cause), func(i, v int) { m.cause[i] = DeathCause(v) }); err != nil {
+		return err
+	}
+	if err := restoreInts("readmits", readmits, len(m.readmit), func(i, v int) { m.readmit[i] = v }); err != nil {
+		return err
+	}
+	if err := restoreInts("suspicion", suspicion, len(m.suspicion), func(i, v int) { m.suspicion[i] = v }); err != nil {
+		return err
+	}
+	if evidence != nil {
+		if len(evidence) != len(m.evidence) {
+			return fmt.Errorf("membership: evidence vector has %d groups, system has %d", len(evidence), len(m.evidence))
+		}
+		copy(m.evidence, evidence)
+	}
+	return nil
+}
+
+func restoreInts(name string, src []int, want int, set func(i, v int)) error {
+	if src == nil {
+		return nil
+	}
+	if len(src) != want {
+		return fmt.Errorf("membership: %s vector has %d entries, want %d", name, len(src), want)
+	}
+	for i, v := range src {
+		set(i, v)
+	}
+	return nil
+}

@@ -69,6 +69,20 @@ type Result struct {
 	RecoveryTime     float64
 	FailedProcs      int
 
+	// Elastic-membership outcome (all zero unless fault injection was
+	// enabled). SuspectTransitions counts alive→suspected transitions
+	// driven by probe retry exhaustion; SuspectedDead counts
+	// suspected→presumed-dead escalations; Rejoins counts completed
+	// re-admissions of returning processors; RejoinCatchups counts the
+	// forced gain/cost evaluations armed by those rejoins;
+	// QuorumDegradedSteps counts level-0 boundaries at which some
+	// group was below its admission quorum.
+	SuspectTransitions  int
+	SuspectedDead       int
+	Rejoins             int
+	RejoinCatchups      int
+	QuorumDegradedSteps int
+
 	// Durable checkpoint outcome (all zero unless a checkpoint
 	// directory was configured).
 	//
@@ -106,10 +120,32 @@ func (r *Result) FaultSummary() string {
 	fmt.Fprintf(&b, "processor failures:       %d (recoveries %d, %.3fs lost+replayed)\n",
 		r.FailedProcs, r.Recoveries, r.RecoveryTime)
 	fmt.Fprintf(&b, "recovery phase time:      %.3fs\n", r.Breakdown[vclock.Recovery])
+	if r.SuspectTransitions > 0 || r.Rejoins > 0 || r.QuorumDegradedSteps > 0 {
+		fmt.Fprintf(&b, "membership:               %d suspected, %d presumed dead, %d rejoins (catch-ups %d), %d below-quorum steps\n",
+			r.SuspectTransitions, r.SuspectedDead, r.Rejoins, r.RejoinCatchups, r.QuorumDegradedSteps)
+	}
 	if r.CheckpointFallbacks > 0 || r.PristineRestarts > 0 {
 		fmt.Fprintf(&b, "checkpoint fallbacks:     %d (corrupt generations skipped %d, pristine restarts %d)\n",
 			r.CheckpointFallbacks, r.CorruptGenerations, r.PristineRestarts)
 	}
+	return b.String()
+}
+
+// RecoveryReport renders the retry/backoff/suspicion and rejoin
+// counters, one per line — the elastic-membership view of the run
+// (empty string when nothing membership-related ever happened).
+func (r *Result) RecoveryReport() string {
+	if r.ProbeRetries == 0 && r.SuspectTransitions == 0 && r.Rejoins == 0 &&
+		r.SuspectedDead == 0 && r.QuorumDegradedSteps == 0 && r.Recoveries == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "probe retries:             %d (%.3fs charged to delta)\n", r.ProbeRetries, r.RetryTime)
+	fmt.Fprintf(&b, "suspect transitions:       %d\n", r.SuspectTransitions)
+	fmt.Fprintf(&b, "suspected -> presumed dead:%d\n", r.SuspectedDead)
+	fmt.Fprintf(&b, "rejoins completed:         %d (catch-up evals %d)\n", r.Rejoins, r.RejoinCatchups)
+	fmt.Fprintf(&b, "below-quorum steps:        %d\n", r.QuorumDegradedSteps)
+	fmt.Fprintf(&b, "checkpoint recoveries:     %d (%.3fs lost+replayed)\n", r.Recoveries, r.RecoveryTime)
 	return b.String()
 }
 

@@ -1,6 +1,10 @@
 package scenario
 
-import "testing"
+import (
+	"testing"
+
+	"samrdlb/internal/fault"
+)
 
 // FuzzScenario feeds arbitrary bytes through FromBytes into the
 // executor: whatever configuration the fuzzer reaches, the engine
@@ -12,10 +16,33 @@ func FuzzScenario(f *testing.F) {
 	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{9, 0, 0, 0, 0, 0, 0, 0, 3, 7, 11, 42})
 	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	// Fail → rejoin → fail-again on one processor (byte 23 hits the
+	// churn-injection case of FromBytes).
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 23})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc := FromBytes(data)
 		if out := sc.Execute(); out.Failed() {
 			t.Fatalf("%s\nreplay: %s", out.Summary(), ReplayCommand(sc))
 		}
 	})
+}
+
+// TestFuzzCorpusChurnSeed pins the corpus entry that exercises the
+// fail → rejoin → fail-again schedule: both bounded outages must
+// survive normalisation (so the entry really stresses re-admission)
+// and the scenario must execute with zero invariant violations.
+func TestFuzzCorpusChurnSeed(t *testing.T) {
+	sc := FromBytes([]byte{5, 0, 0, 0, 0, 0, 0, 0, 23})
+	bounded := 0
+	for _, e := range sc.Faults {
+		if e.Kind == fault.ProcFailure && e.End > e.Start {
+			bounded++
+		}
+	}
+	if bounded != 2 {
+		t.Fatalf("churn corpus entry lost its schedule after Normalize: %+v", sc.Faults)
+	}
+	if out := sc.Execute(); out.Failed() {
+		failNow(t, sc, out)
+	}
 }

@@ -102,7 +102,7 @@ func randomEvent(rng *rand.Rand, est float64, ngroups, nprocs int) fault.Event {
 			b = rng.Intn(ngroups)
 		}
 	}
-	switch rng.Intn(6) {
+	switch rng.Intn(8) {
 	case 0:
 		return fault.Event{Kind: fault.LinkOutage, Start: start, End: end, A: a, B: b}
 	case 1:
@@ -117,10 +117,63 @@ func randomEvent(rng *rand.Rand, est float64, ngroups, nprocs int) fault.Event {
 	case 4:
 		return fault.Event{Kind: fault.GroupDisconnect, Start: start, End: end,
 			Group: rng.Intn(ngroups)}
+	case 5:
+		// Explicit revival: a no-op unless a failure struck the same
+		// processor earlier, which the generator leaves to chance.
+		return fault.Event{Kind: fault.ProcRecovery, Start: start, Proc: rng.Intn(nprocs)}
+	case 6:
+		return fault.Event{Kind: fault.GroupReconnect, Start: start, Group: rng.Intn(ngroups)}
 	default:
+		// Windowed failure: a bounded outage — the processor is down in
+		// [start, end) and rejoins at end.
 		return fault.Event{Kind: fault.ProcFailure, Start: start, End: end,
 			Proc: rng.Intn(nprocs)}
 	}
+}
+
+// GenerateRejoin derives a rejoin-heavy scenario deterministically:
+// the run envelope comes from Generate, but the fault schedule is
+// replaced with one weighted toward elastic-membership churn — bounded
+// processor outages, explicit failure→recovery pairs, and group
+// disconnect→reconnect pairs — so soaks exercise the rejoin and
+// catch-up paths on every seed.
+func GenerateRejoin(seed int64) Scenario {
+	s := Generate(seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x52454a4f494e)) // "REJOIN"
+	nprocs, ngroups := s.NumProcs(), len(s.Groups)
+	est := s.estRunTime()
+	s.FaultSeed = 1 + rng.Int63()
+	s.Faults = nil
+	s.ResumeCut = -1
+	if rng.Float64() < 0.4 && s.Steps >= 2 {
+		s.ResumeCut = s.CkptInterval + rng.Intn(s.Steps)
+	}
+	n := 1 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(nprocs)
+		t0 := rng.Float64() * est * 0.5
+		t1 := t0 + (0.1+0.3*rng.Float64())*est
+		if rng.Float64() < 0.5 {
+			// Bounded outage: down in [t0, t1), rejoining at t1.
+			s.Faults = append(s.Faults, fault.Event{Kind: fault.ProcFailure, Start: t0, End: t1, Proc: p})
+		} else {
+			// Permanent failure revived by an explicit recovery.
+			s.Faults = append(s.Faults, fault.Event{Kind: fault.ProcFailure, Start: t0, Proc: p})
+			s.Faults = append(s.Faults, fault.Event{Kind: fault.ProcRecovery, Start: t1, Proc: p})
+		}
+	}
+	if ngroups >= 2 && rng.Float64() < 0.5 {
+		g := rng.Intn(ngroups)
+		t0 := rng.Float64() * est * 0.5
+		t1 := t0 + (0.1+0.3*rng.Float64())*est
+		s.Faults = append(s.Faults, fault.Event{Kind: fault.GroupDisconnect, Start: t0, End: t1, Group: g})
+		s.Faults = append(s.Faults, fault.Event{Kind: fault.GroupReconnect, Start: t1 + 0.05*est, Group: g})
+	}
+	if rng.Float64() < 0.3 {
+		s.Quorum = 1 + rng.Intn(2)
+	}
+	s.Normalize()
+	return s
 }
 
 // FromBytes maps arbitrary fuzz input onto a scenario: the first 8
@@ -136,7 +189,7 @@ func FromBytes(data []byte) Scenario {
 	}
 	s := Generate(seed)
 	for i, b := range data {
-		switch b % 11 {
+		switch b % 12 {
 		case 0:
 			s.Steps = 1 + int(b/11)%4
 		case 1:
@@ -164,6 +217,17 @@ func FromBytes(data []byte) Scenario {
 		case 10:
 			if len(s.Faults) > 0 {
 				s.Faults[i%len(s.Faults)].Start = float64(b) / 255 * s.estRunTime()
+			}
+		case 11:
+			// Fail → rejoin → fail-again on one processor: the schedule
+			// that stresses re-admission bookkeeping hardest. Normalize
+			// drops it when the system is too small.
+			est := s.estRunTime()
+			p := int(b) % s.NumProcs()
+			s.FaultSeed = 1 + int64(b)
+			s.Faults = []fault.Event{
+				{Kind: fault.ProcFailure, Start: 0.1 * est, End: 0.35 * est, Proc: p},
+				{Kind: fault.ProcFailure, Start: 0.55 * est, End: 0.8 * est, Proc: p},
 			}
 		}
 	}

@@ -66,8 +66,11 @@ type Scenario struct {
 	// from the durable store, exercising the restore path mid-scenario.
 	CkptInterval int
 	ResumeCut    int
-	FaultSeed    int64
-	Faults       []fault.Event
+	// Quorum is the per-group minimum of admitted processors for
+	// global balancing under elastic membership (0 = engine default 1).
+	Quorum    int
+	FaultSeed int64
+	Faults    []fault.Event
 	// InjectBug deliberately breaks an invariant for harness
 	// self-tests: "colocation" misplaces children outside their
 	// parent's group. Never produced by Generate; preserved by Shrink.
@@ -169,6 +172,7 @@ func (s *Scenario) EngineOptions(check func(*engine.PhaseInfo)) (engine.Options,
 		WithData:           s.WithData,
 		UseForecast:        s.UseForecast,
 		CheckpointInterval: s.CkptInterval,
+		GroupQuorum:        s.Quorum,
 		Invariants:         check,
 	}
 	if len(s.Faults) > 0 {
@@ -306,6 +310,7 @@ func (s *Scenario) Encode() string {
 	add("forecast", boolStr(s.UseForecast))
 	add("ckpt", strconv.Itoa(s.CkptInterval))
 	add("cut", strconv.Itoa(s.ResumeCut))
+	add("quorum", strconv.Itoa(s.Quorum))
 	add("faultseed", strconv.FormatInt(s.FaultSeed, 10))
 	if len(s.Faults) > 0 {
 		es := make([]string, len(s.Faults))
@@ -377,6 +382,8 @@ func Parse(in string) (Scenario, error) {
 			s.CkptInterval, err = strconv.Atoi(v)
 		case "cut":
 			s.ResumeCut, err = strconv.Atoi(v)
+		case "quorum":
+			s.Quorum, err = strconv.Atoi(v)
 		case "faultseed":
 			s.FaultSeed, err = strconv.ParseInt(v, 10, 64)
 		case "faults":
@@ -515,6 +522,7 @@ func (s *Scenario) Normalize() {
 		s.WithData = false
 	}
 	s.CkptInterval = clamp(s.CkptInterval, 1, 4)
+	s.Quorum = clamp(s.Quorum, 0, 4)
 	if s.ResumeCut >= 0 {
 		// The cut needs a durable generation to resume from: at least
 		// CkptInterval completed steps, and something left to run.
@@ -539,8 +547,9 @@ func (s *Scenario) Normalize() {
 
 // normalizeFaults drops events the current system shape cannot host
 // (out-of-range groups or processors, malformed windows) and caps the
-// schedule at one processor failure, which must leave at least two
-// survivors.
+// schedule: one permanent processor failure (which must leave at least
+// two survivors), and up to two bounded outages — windowed failures or
+// failure/recovery pairs, whose processors rejoin mid-run.
 func (s *Scenario) normalizeFaults() {
 	if len(s.Faults) == 0 {
 		s.Faults = nil
@@ -548,7 +557,7 @@ func (s *Scenario) normalizeFaults() {
 	}
 	nprocs, ngroups := s.NumProcs(), len(s.Groups)
 	var kept []fault.Event
-	failures := 0
+	failures, bounded := 0, 0
 	for _, e := range s.Faults {
 		switch e.Kind {
 		case fault.LinkOutage, fault.LinkDegrade, fault.ProbeLoss:
@@ -559,15 +568,35 @@ func (s *Scenario) normalizeFaults() {
 			if ngroups < 2 || e.Group >= ngroups {
 				continue
 			}
+		case fault.GroupReconnect:
+			if ngroups < 2 || e.Group >= ngroups {
+				continue
+			}
 		case fault.ProcSlowdown:
 			if e.Proc >= nprocs {
 				continue
 			}
 		case fault.ProcFailure:
-			if e.Proc >= nprocs || nprocs < 3 || failures >= 1 {
+			if e.Proc >= nprocs {
 				continue
 			}
-			failures++
+			if e.End > e.Start {
+				// Bounded outage: the processor rejoins at End, so it is
+				// tolerable even on small systems.
+				if nprocs < 2 || bounded >= 2 {
+					continue
+				}
+				bounded++
+			} else {
+				if nprocs < 3 || failures >= 1 {
+					continue
+				}
+				failures++
+			}
+		case fault.ProcRecovery:
+			if e.Proc >= nprocs {
+				continue
+			}
 		default:
 			// Disk-fault kinds can corrupt every durable generation and
 			// turn a healthy resume into a spurious failure; the ckpt
@@ -578,8 +607,8 @@ func (s *Scenario) normalizeFaults() {
 			kept = append(kept, e)
 		}
 	}
-	if len(kept) > 3 {
-		kept = kept[:3]
+	if len(kept) > 4 {
+		kept = kept[:4]
 	}
 	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Start < kept[j].Start })
 	s.Faults = kept

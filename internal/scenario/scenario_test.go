@@ -15,6 +15,24 @@ import (
 // still covers a fixed dozen.
 var soakScenarios = flag.Int("scenarios", 0, "number of generated scenarios for TestInvariantSoak (0 = skip)")
 
+// -profile selects the soak generator: "" / "default" uses Generate,
+// "rejoin" uses GenerateRejoin (fault schedules weighted toward
+// processor rejoin and group reconnect churn). CI runs both.
+var soakProfile = flag.String("profile", "", "soak generator profile: default or rejoin")
+
+// soakGenerate maps the -profile flag onto a generator.
+func soakGenerate(t *testing.T, seed int64) Scenario {
+	switch *soakProfile {
+	case "", "default":
+		return Generate(seed)
+	case "rejoin":
+		return GenerateRejoin(seed)
+	default:
+		t.Fatalf("unknown -profile %q", *soakProfile)
+		return Scenario{}
+	}
+}
+
 // failNow reports a failing outcome with its shrunk reproducer and
 // replayable command line, and drops the repro into $SAMR_REPRO_DIR
 // when set (CI uploads that directory as an artifact).
@@ -59,7 +77,7 @@ func TestInvariantSoak(t *testing.T) {
 		seed := int64(1000 + i)
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			t.Parallel()
-			sc := Generate(seed)
+			sc := soakGenerate(t, seed)
 			if out := sc.Execute(); out.Failed() {
 				failNow(t, sc, out)
 			}
@@ -81,6 +99,32 @@ func TestGenerateDeterministic(t *testing.T) {
 		if !reflect.DeepEqual(a, n) {
 			t.Fatalf("seed %d: Generate output not normalised:\n%+v\n%+v", seed, a, n)
 		}
+
+		ra, rb := GenerateRejoin(seed), GenerateRejoin(seed)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("seed %d: GenerateRejoin not deterministic:\n%+v\n%+v", seed, ra, rb)
+		}
+		rn := ra
+		rn.Normalize()
+		if !reflect.DeepEqual(ra, rn) {
+			t.Fatalf("seed %d: GenerateRejoin output not normalised:\n%+v\n%+v", seed, ra, rn)
+		}
+	}
+}
+
+// TestRejoinProfileSweep is the always-on slice of the rejoin-heavy
+// profile: a handful of churn-weighted scenarios must hold every
+// invariant even without the -profile=rejoin soak.
+func TestRejoinProfileSweep(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := GenerateRejoin(seed)
+			if out := sc.Execute(); out.Failed() {
+				failNow(t, sc, out)
+			}
+		})
 	}
 }
 

@@ -38,6 +38,10 @@ const (
 	// Checkpoint records a durable checkpoint generation written to
 	// (or failed against) the on-disk store.
 	Checkpoint
+	// Membership records an elastic-membership transition: suspicion
+	// raised or cleared, a processor presumed dead, a rejoin beginning
+	// or completing, or a group dropping below quorum.
+	Membership
 )
 
 func (k Kind) String() string {
@@ -62,6 +66,8 @@ func (k Kind) String() string {
 		return "fault"
 	case Checkpoint:
 		return "checkpoint"
+	case Membership:
+		return "membership"
 	default:
 		return "unknown"
 	}
