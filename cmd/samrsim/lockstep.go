@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"samrdlb/internal/engine"
+	"samrdlb/internal/mpx"
+)
+
+// lockstep is the multi-process campaign driver: every process runs
+// the full deterministic engine on identical flags, and after each
+// level-0 step the processes exchange a digest of their state over a
+// TCP shard world (one rank per process). Since the simulation is a
+// pure function of its flags, matching digests mean the replicas are
+// byte-for-byte in step; a mismatch means the configurations differ
+// and the campaign must stop rather than publish divergent results.
+type lockstep struct {
+	n, self int
+	ep      *mpx.TCPEndpoint
+	world   *mpx.World
+	steps   int
+}
+
+// startLockstep binds this process's shard endpoint and connects the
+// full mesh (lower index dials higher, retrying while peers come up).
+func startLockstep(peerList string, self int, listen string) (*lockstep, error) {
+	peers := strings.Split(peerList, ",")
+	n := len(peers)
+	if n < 2 {
+		return nil, fmt.Errorf("lockstep: -peers needs at least two addresses, got %q", peerList)
+	}
+	if self < 0 || self >= n {
+		return nil, fmt.Errorf("lockstep: -shard %d out of range for %d peers", self, n)
+	}
+	shardOf := func(rank int) int { return rank }
+	addr := listen
+	if addr == "" {
+		addr = peers[self]
+	}
+	ep, err := mpx.ListenTCP(self, addr, shardOf)
+	if err != nil {
+		return nil, err
+	}
+	for p := self + 1; p < n; p++ {
+		if err := dialRetry(ep, p, strings.TrimSpace(peers[p])); err != nil {
+			ep.Close()
+			return nil, err
+		}
+	}
+	w := mpx.NewShardWorld(n, shardOf, self, ep)
+	ep.Bind(w)
+	return &lockstep{n: n, self: self, ep: ep, world: w}, nil
+}
+
+// dialRetry keeps dialing a peer that may not have bound its listener
+// yet — process start order across machines is arbitrary.
+func dialRetry(ep *mpx.TCPEndpoint, peer int, addr string) error {
+	const (
+		attempts = 120
+		pause    = 500 * time.Millisecond
+	)
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = ep.Dial(peer, addr); err == nil {
+			return nil
+		}
+		time.Sleep(pause)
+	}
+	return fmt.Errorf("lockstep: shard %d unreachable at %s: %w", peer, addr, err)
+}
+
+// check exchanges this step's digest with every peer and compares.
+// All sends post before any receive, so the exchange cannot deadlock
+// even when replicas run at different wall-clock speeds (mailboxes
+// buffer the faster process's frames).
+func (l *lockstep) check(step int, r *engine.Runner) error {
+	local := r.StepDigest(step)
+	var mismatch error
+	l.world.Run(func(rank *mpx.Rank) {
+		for p := 0; p < l.n; p++ {
+			if p != l.self {
+				rank.Send(p, step, local)
+			}
+		}
+		for p := 0; p < l.n; p++ {
+			if p == l.self {
+				continue
+			}
+			remote := rank.Recv(p, step)
+			if !equalDigest(local, remote) {
+				mismatch = fmt.Errorf("lockstep: shard %d diverged at step %d: local %v, remote %v",
+					p, step, local, remote)
+				return
+			}
+		}
+	})
+	l.steps++
+	return mismatch
+}
+
+func (l *lockstep) close() { l.ep.Close() }
+
+func equalDigest(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -17,6 +17,22 @@
 // failing soak or fuzz run — end to end under the oracle:
 //
 //	samrsim -invariants -scenario 'seed=42 dataset=ShockPool3D n=8 ... bug=colocation'
+//
+// With -data, -transport selects how rank messages travel: "loopback"
+// runs every simulated processor as an mpx rank in one in-process
+// world, "tcp" additionally shards the world by processor group behind
+// real localhost sockets (CRC32-framed wire messages). Both produce
+// results identical to the shared-memory default; the netsim link
+// model stays the timing authority.
+//
+// A multi-process lockstep campaign replicates the deterministic run
+// across machines and cross-checks a per-step digest over TCP:
+//
+//	samrsim -peers host0:7000,host1:7000 -shard 0 -listen :7000 ...
+//	samrsim -peers host0:7000,host1:7000 -shard 1 -listen :7000 ...
+//
+// Every process must be started with identical run flags; any
+// divergence in the per-step digests exits non-zero.
 package main
 
 import (
@@ -71,6 +87,10 @@ func main() {
 		scenSpec  = flag.String("scenario", "", "replay a property-harness scenario string under the invariant oracle (overrides the other run flags)")
 		quorum    = flag.Int("quorum", 0, "per-group minimum of admitted processors before the group degrades to local-only balancing (0 = default 1)")
 		recReport = flag.Bool("recovery-report", false, "print the retry/backoff/suspicion and rejoin counters after the run")
+		transport = flag.String("transport", "", "rank-message transport with -data: loopback (in-process mpx world) | tcp (one shard per group over localhost sockets); empty = shared-memory data path")
+		listenFl  = flag.String("listen", "", "lockstep: listen address for this shard (default: the -peers entry for -shard)")
+		peersFl   = flag.String("peers", "", "lockstep: comma-separated shard addresses in shard order; replicates the run and cross-checks per-step digests")
+		shardFl   = flag.Int("shard", -1, "lockstep: this process's index into -peers")
 	)
 	flag.Parse()
 
@@ -183,6 +203,19 @@ func main() {
 		LedgerCheck:        *ledCheck,
 		DataCheck:          *datCheck,
 	}
+	switch *transport {
+	case "":
+	case engine.TransportLoopback, engine.TransportTCP:
+		if !*withData {
+			fmt.Fprintln(os.Stderr, "transport: -transport requires -data (rank messages carry field data)")
+			os.Exit(2)
+		}
+		opt.UseMPX = true
+		opt.Transport = *transport
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
 	var checker *invariant.Checker
 	if *invCheck {
 		// The parallel and SFC schemes deliberately ignore group
@@ -190,12 +223,32 @@ func main() {
 		checker = invariant.New(*scheme == "distributed")
 		opt.Invariants = checker.Check
 	}
+	var lock *lockstep
+	if *peersFl != "" {
+		var err error
+		lock, err = startLockstep(*peersFl, *shardFl, *listenFl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "lockstep: shard %d connected to %d peer(s)\n", *shardFl, lock.n-1)
+		opt.AfterStep = func(step int, r *engine.Runner) {
+			if err := lock.check(step, r); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	if *stopAftr >= 0 {
 		// The durable generation for this boundary (if due) is written
 		// before AfterStep fires, so exiting here models a crash whose
 		// latest checkpoint is already safely on disk.
 		stop := *stopAftr
-		opt.AfterStep = func(step int, _ *engine.Runner) {
+		prev := opt.AfterStep
+		opt.AfterStep = func(step int, r *engine.Runner) {
+			if prev != nil {
+				prev(step, r)
+			}
 			if step >= stop {
 				fmt.Fprintf(os.Stderr, "interrupted after step %d (simulated crash)\n", step)
 				os.Exit(3)
@@ -225,6 +278,11 @@ func main() {
 	}
 	res := runner.Run()
 
+	if lock != nil {
+		fmt.Fprintf(os.Stderr, "lockstep: %d step(s) verified across %d shards\n", lock.steps, lock.n)
+		lock.close()
+	}
+
 	if checker != nil {
 		if err := checker.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "invariants: %v\n", err)
@@ -245,6 +303,9 @@ func main() {
 	fmt.Printf("peak cells (all levels): %d, utilisation: %.2f\n", res.MaxCells, res.Utilisation)
 	fmt.Printf("load ledger: %d incremental events, %d full rebuilds\n", res.LedgerEvents, res.LedgerRebuilds)
 	if s := res.CheckpointSummary(); s != "" {
+		fmt.Println(s)
+	}
+	if s := res.TransportSummary(); s != "" {
 		fmt.Println(s)
 	}
 	if res.Faulty() {

@@ -1,9 +1,23 @@
 package amr
 
 import (
+	"fmt"
+
 	"samrdlb/internal/geom"
 	"samrdlb/internal/grid"
 	"samrdlb/internal/mpx"
+)
+
+// Tag-space layout of the exchange phases. mpx reserves negative tags
+// for its collectives (Send/Recv reject them), so the phases carve up
+// the non-negative space: prolongation tags count up from
+// TagProlongBase and sibling-copy tags from TagSiblingBase within one
+// FillGhostsMPX call, where both phases share the wire and must stay
+// disjoint. Restriction runs as its own engine phase — the shard
+// worlds join in between — so it reuses TagProlongBase safely.
+const (
+	TagProlongBase = 0
+	TagSiblingBase = 1 << 20
 )
 
 // FillGhostsMPX performs exactly FillGhostsData's data motion, but
@@ -34,7 +48,7 @@ func (h *Hierarchy) FillGhostsMPX(r *mpx.Rank, level int) {
 			tag            int
 		}
 		var xfers []prolongXfer
-		tag := 0
+		tag := TagProlongBase
 		for i := range plan {
 			d := &plan[i]
 			for _, op := range d.ops {
@@ -49,6 +63,9 @@ func (h *Hierarchy) FillGhostsMPX(r *mpx.Rank, level int) {
 				})
 				tag++
 			}
+		}
+		if tag > TagSiblingBase {
+			panic(fmt.Sprintf("amr: %d prolongation transfers overflow the phase-A tag space", tag))
 		}
 		for _, x := range xfers { // sends (and same-rank work) first
 			switch {
@@ -81,7 +98,7 @@ func (h *Hierarchy) FillGhostsMPX(r *mpx.Rank, level int) {
 		tag      int
 	}
 	var xfers []siblingXfer
-	tag := 1 << 20 // disjoint from phase-A tags
+	tag := TagSiblingBase // disjoint from phase-A tags
 	for i := range plan {
 		d := &plan[i]
 		for _, op := range d.ops {
@@ -142,7 +159,7 @@ func (h *Hierarchy) RestrictMPX(r *mpx.Rank, level int) {
 		tag    int
 	}
 	var xfers []xfer
-	tag := 0
+	tag := TagProlongBase
 	for i := range plan {
 		d := &plan[i]
 		for _, g := range d.fines {

@@ -93,6 +93,12 @@ type Meta struct {
 	LedgerRebuilds                int
 	DiskCheckpoints               int
 	DiskCkptErrors                int
+	// DiskPruneErrors counts pruned-generation deletions that failed,
+	// cumulative — including the prune the generation's own write will
+	// trigger (predicted; the injected decision is deterministic).
+	// Absent (zero) on generations written before prune errors were
+	// tracked; gob decodes those compatibly.
+	DiskPruneErrors int
 	// WriteAttempts is the durable-write sequence position (attempts,
 	// including failed ones) — it keys the deterministic disk-fault
 	// decisions, so a resumed run replays the same corruption.
@@ -148,14 +154,18 @@ type DiskFault interface {
 	// FlipBit reports whether one bit of the written image is flipped,
 	// and a unit value in [0,1) selecting which bit.
 	FlipBit(n int, t float64) (bool, float64)
+	// RemoveError reports whether deleting a pruned generation file
+	// fails (the file stays on disk; the store stops tracking it).
+	RemoveError(n int, t float64) bool
 }
 
 // Store manages a directory of checkpoint generations.
 type Store struct {
-	dir   string
-	keep  int
-	fault DiskFault
-	gens  []GenEntry // in-memory manifest view, oldest first
+	dir       string
+	keep      int
+	fault     DiskFault
+	gens      []GenEntry // in-memory manifest view, oldest first
+	pruneErrs int        // pruned-file deletions that failed since Open
 }
 
 // GenEntry is one manifest row.
@@ -323,7 +333,7 @@ func (s *Store) Write(meta *Meta, hierarchy []byte, seq int, now float64) (int, 
 	s.gens = append(s.gens, GenEntry{
 		Gen: gen, File: name, Step: meta.Step, SimTime: meta.SimTime, Size: int64(len(img)),
 	})
-	s.prune()
+	s.prune(seq, now)
 	if err := s.writeManifest(); err != nil {
 		return 0, fmt.Errorf("ckpt.Write: %w", err)
 	}
@@ -376,11 +386,44 @@ func syncDir(dir string) error {
 }
 
 // prune drops generations beyond the retention count, deleting their
-// files best-effort.
-func (s *Store) prune() {
+// files. A deletion that fails — injected via the disk fault's
+// RemoveError, or a real filesystem error — is counted rather than
+// dropped on the floor: the generation leaves the manifest either
+// way, but PruneErrors surfaces the stranded files so disk-fault
+// scenarios (and operators watching a filling disk) can see them.
+// seq and now key the deterministic fault decision, like Write's.
+func (s *Store) prune(seq int, now float64) {
 	for len(s.gens) > s.keep {
 		old := s.gens[0]
 		s.gens = s.gens[1:]
-		os.Remove(filepath.Join(s.dir, old.File))
+		if s.fault != nil && s.fault.RemoveError(seq, now) {
+			s.pruneErrs++
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, old.File)); err != nil {
+			s.pruneErrs++
+		}
 	}
+}
+
+// PruneErrors returns the number of pruned-generation deletions that
+// failed since the store was opened.
+func (s *Store) PruneErrors() int { return s.pruneErrs }
+
+// PredictPruneErrors returns how many prune errors the NEXT
+// successful write at (seq, now) will incur: the injected RemoveError
+// decision is a pure function of (seq, now), so the caller can fold
+// the in-flight write's prune outcome into the metadata that very
+// write persists. Real (non-injected) filesystem errors are
+// inherently unpredictable and excluded — resume determinism is only
+// promised under injected faults.
+func (s *Store) PredictPruneErrors(seq int, now float64) int {
+	if s.fault == nil || !s.fault.RemoveError(seq, now) {
+		return 0
+	}
+	over := len(s.gens) + 1 - s.keep
+	if over < 0 {
+		return 0
+	}
+	return over
 }

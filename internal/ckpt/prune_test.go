@@ -1,0 +1,97 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// countGenFiles counts generation files physically present in dir
+// (ignoring the manifest and temp files).
+func countGenFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".ckpt" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPruneErrorsCounted pins the prune-failure fix: a deletion that
+// fails must be counted and the file visibly stranded, instead of the
+// error vanishing. (Pre-fix, prune ignored os.Remove's error and
+// exposed no counter at all.)
+func TestPruneErrorsCounted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFault(scriptedFault{errOn: -1, tearOn: -1, flipOn: -1, removeOn: 3})
+	for step := 0; step <= 2; step++ {
+		mustWrite(t, s, step, []byte("gen"))
+	}
+	// Writes 0..2: the prune at write 2 deletes generation 1 cleanly.
+	if got := s.PruneErrors(); got != 0 {
+		t.Fatalf("clean prunes counted %d errors", got)
+	}
+	if n := countGenFiles(t, dir); n != 2 {
+		t.Fatalf("%d generation files on disk, want 2", n)
+	}
+	// Write 3's prune hits the injected RemoveError: the generation
+	// leaves the manifest but its file stays behind.
+	mustWrite(t, s, 3, []byte("gen"))
+	if got := s.PruneErrors(); got != 1 {
+		t.Errorf("PruneErrors = %d, want 1", got)
+	}
+	if n := len(s.Generations()); n != 2 {
+		t.Errorf("manifest tracks %d generations, want 2", n)
+	}
+	if n := countGenFiles(t, dir); n != 3 {
+		t.Errorf("%d generation files on disk, want 3 (one stranded)", n)
+	}
+	// Subsequent clean prunes neither re-count nor touch the stranded
+	// file.
+	mustWrite(t, s, 4, []byte("gen"))
+	if got := s.PruneErrors(); got != 1 {
+		t.Errorf("PruneErrors after a clean prune = %d, want still 1", got)
+	}
+	if n := countGenFiles(t, dir); n != 3 {
+		t.Errorf("%d generation files on disk after a clean prune, want 3", n)
+	}
+}
+
+// TestPredictPruneErrors: the injected decision is a pure function of
+// (seq, now), so the prediction must match what the write then does.
+func TestPredictPruneErrors(t *testing.T) {
+	s, err := Open(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFault(scriptedFault{errOn: -1, tearOn: -1, flipOn: -1, removeOn: 3})
+	mustWrite(t, s, 0, []byte("gen"))
+	// Below the retention limit nothing prunes, fault or not.
+	if got := s.PredictPruneErrors(3, 3); got != 0 {
+		t.Errorf("prediction below keep = %d, want 0", got)
+	}
+	mustWrite(t, s, 1, []byte("gen"))
+	if got := s.PredictPruneErrors(2, 2); got != 0 {
+		t.Errorf("prediction for a clean prune = %d, want 0", got)
+	}
+	if got := s.PredictPruneErrors(3, 3); got != 1 {
+		t.Errorf("prediction for the faulted prune = %d, want 1", got)
+	}
+	mustWrite(t, s, 2, []byte("gen")) // clean prune
+	before := s.PruneErrors()
+	predicted := s.PredictPruneErrors(3, 3)
+	mustWrite(t, s, 3, []byte("gen")) // faulted prune
+	if got := s.PruneErrors() - before; got != predicted {
+		t.Errorf("write incurred %d prune errors, prediction said %d", got, predicted)
+	}
+}

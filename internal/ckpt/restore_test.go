@@ -82,6 +82,7 @@ func TestAllGenerationsCorruptErrors(t *testing.T) {
 // scripted DiskFault and checks Restore's behaviour end to end.
 type scriptedFault struct {
 	errOn, tearOn, flipOn int // write index each fault fires on (-1 = never)
+	removeOn              int // write index whose prune deletions fail (0 = never)
 }
 
 func (f scriptedFault) WriteError(n int, t float64) bool { return n == f.errOn }
@@ -90,6 +91,9 @@ func (f scriptedFault) TornWrite(n int, t float64) (bool, float64) {
 }
 func (f scriptedFault) FlipBit(n int, t float64) (bool, float64) {
 	return n == f.flipOn, 0.75
+}
+func (f scriptedFault) RemoveError(n int, t float64) bool {
+	return f.removeOn != 0 && n == f.removeOn
 }
 
 func TestInjectedDiskFaults(t *testing.T) {

@@ -78,6 +78,18 @@ type Options struct {
 	// (requires WithData): kernels and exchanges then execute
 	// rank-parallel, as ENZO does over MPI.
 	UseMPX bool
+	// Transport selects how rank messages travel when UseMPX is set.
+	// "" or "loopback" keeps the single in-process world; "tcp" runs
+	// each processor group as its own shard world behind a real
+	// localhost socket transport (CRC32-framed wire messages), while
+	// the netsim link model remains the sole timing authority. The two
+	// modes produce identical Results for fault-free runs.
+	Transport string
+	// WireFault, when non-nil, injects deterministic send failures
+	// into the tcp transport (a pure function of (src, dst, attempt)).
+	// A faulted exchange phase falls back to the in-memory data path
+	// and the failure feeds membership suspicion like a failed probe.
+	WireFault mpx.WireFault
 	// Pool runs patch kernels in parallel (nil = sequential).
 	Pool *solver.Pool
 	// Trace, when non-nil, records structured events.
@@ -218,7 +230,11 @@ type Runner struct {
 	t            float64
 
 	world    *mpx.World
+	shards   *shardSet // tcp transport: one shard world per group
 	fluxRegs []*amr.FluxRegister
+
+	transportFaults    int
+	transportFallbacks int
 
 	intervalStart float64
 	globalEvals   int
@@ -252,6 +268,7 @@ type Runner struct {
 	ckptAttempts   int  // durable write attempts; keys disk-fault decisions
 	diskCkptWrites int
 	diskCkptErrors int
+	diskPruneBase  int // prune failures inherited from the resumed run
 	ckptFallbacks  int
 	corruptGens    int
 	pristineResets int
@@ -378,6 +395,15 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 		}
 		r.store = st
 	}
+	switch opt.Transport {
+	case "", TransportLoopback:
+	case TransportTCP:
+		if !opt.UseMPX {
+			panic("engine: Transport=tcp requires UseMPX")
+		}
+	default:
+		panic("engine: unknown Transport " + opt.Transport)
+	}
 	if opt.UseMPX {
 		if !opt.WithData {
 			panic("engine: UseMPX requires WithData")
@@ -385,7 +411,15 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 		if opt.Reflux {
 			panic("engine: Reflux and UseMPX are not supported together")
 		}
-		r.world = mpx.NewWorld(sys.NumProcs())
+		if opt.Transport == TransportTCP {
+			ss, err := newTCPShards(sys, opt.WireFault)
+			if err != nil {
+				panic("engine: " + err.Error())
+			}
+			r.shards = ss
+		} else {
+			r.world = mpx.NewWorld(sys.NumProcs())
+		}
 	}
 	if opt.Reflux {
 		if !opt.WithData {
@@ -462,6 +496,7 @@ func (r *Runner) dt(level int) float64 {
 // takes periodic recovery checkpoints, and tracks group quarantine
 // across level-0 boundaries.
 func (r *Runner) Run() *metrics.Result {
+	defer r.Close()
 	r.curStep = r.startStep
 	if r.opt.Faults != nil {
 		if r.resumed {
@@ -639,17 +674,27 @@ func (r *Runner) writeDurable(step int) {
 	r.clock.AddUniform(vclock.Recovery, float64(cells)*checkpointFlopsPerCell/r.sys.FlopsPerSecond)
 	seq := r.ckptAttempts
 	r.ckptAttempts++
+	now := r.clock.Now()
 	meta := r.snapshotMeta(step)
-	gen, err := r.store.Write(meta, r.ckptBuf.Bytes(), seq, r.clock.Now())
+	// The prune count, like DiskCheckpoints, describes the world in
+	// which this generation landed on disk — including the prune its
+	// own write triggers, whose outcome under injected faults is a pure
+	// function of (seq, now) and therefore predictable.
+	meta.DiskPruneErrors = r.diskPruneBase + r.store.PruneErrors() + r.store.PredictPruneErrors(seq, now)
+	gen, err := r.store.Write(meta, r.ckptBuf.Bytes(), seq, now)
 	if err != nil {
 		r.diskCkptErrors++
-		r.opt.Trace.Add(trace.Checkpoint, 0, r.clock.Now(),
+		r.opt.Trace.Add(trace.Checkpoint, 0, now,
 			fmt.Sprintf("write failed step=%d: %v", step, err))
 		return
 	}
 	r.diskCkptWrites++
-	r.opt.Trace.Add(trace.Checkpoint, 0, r.clock.Now(),
+	r.opt.Trace.Add(trace.Checkpoint, 0, now,
 		fmt.Sprintf("gen=%d step=%d cells=%d bytes=%d", gen, step, cells, r.ckptBuf.Len()))
+	if pe := r.diskPruneBase + r.store.PruneErrors(); pe > 0 {
+		r.opt.Trace.Add(trace.Checkpoint, 0, now,
+			fmt.Sprintf("prune failures to date: %d (stranded generation files)", pe))
+	}
 	r.fireInvariant(PhaseCheckpoint, 0, nil, nil, false)
 }
 
@@ -916,7 +961,27 @@ func (r *Runner) advanceLevel(level int) {
 	// Real data motion and numerics.
 	if r.opt.WithData {
 		dt, dx := r.dt(level), r.dx(level)
-		if r.world != nil {
+		if r.shards != nil {
+			// Sharded wire execution: the ghost exchange and the kernel
+			// sweep run as separate phases, so a wire failure during the
+			// exchange can fall back to the in-memory fill (an idempotent
+			// full rewrite) without re-running any kernel.
+			if !r.runWirePhase("fill", level, func(rank *mpx.Rank) {
+				r.h.FillGhostsMPX(rank, level)
+			}) {
+				r.h.FillGhostsData(level)
+			}
+			r.shards.mustRun(func(rank *mpx.Rank) {
+				for _, g := range grids {
+					if g.Owner != rank.ID() {
+						continue
+					}
+					for _, k := range r.kernels {
+						k.Step(g.Patch, dt, dx)
+					}
+				}
+			})
+		} else if r.world != nil {
 			// Rank-parallel execution: every simulated processor runs
 			// as an mpx rank, exchanging ghosts by message and
 			// advancing only its own grids.
@@ -1036,7 +1101,13 @@ func (r *Runner) particleWork(work []float64) {
 func (r *Runner) restrict(level int) {
 	r.chargeMessages(r.h.RestrictPlanCached(level), vclock.LocalComm, vclock.RemoteComm)
 	if r.opt.WithData {
-		if r.world != nil {
+		if r.shards != nil {
+			if !r.runWirePhase("restrict", level, func(rank *mpx.Rank) {
+				r.h.RestrictMPX(rank, level)
+			}) {
+				r.h.RestrictData(level)
+			}
+		} else if r.world != nil {
 			r.world.Run(func(rank *mpx.Rank) {
 				r.h.RestrictMPX(rank, level)
 			})
@@ -1362,5 +1433,14 @@ func (r *Runner) result() *metrics.Result {
 	res.CheckpointFallbacks = r.ckptFallbacks
 	res.CorruptGenerations = r.corruptGens
 	res.PristineRestarts = r.pristineResets
+	res.DiskPruneErrors = r.diskPruneBase
+	if r.store != nil {
+		res.DiskPruneErrors += r.store.PruneErrors()
+	}
+	if r.shards != nil {
+		res.TransportFaults = r.transportFaults
+		res.TransportFallbacks = r.transportFallbacks
+		res.TransportFrames, res.TransportBytes = r.shards.stats()
+	}
 	return res
 }

@@ -130,6 +130,7 @@ func (r *Runner) restoreFromMeta(m *ckpt.Meta) error {
 	r.ledgerRebuilds = m.LedgerRebuilds - r.ledger.Rebuilds()
 	r.diskCkptWrites = m.DiskCheckpoints
 	r.diskCkptErrors = m.DiskCkptErrors
+	r.diskPruneBase = m.DiskPruneErrors
 	r.ckptAttempts = m.WriteAttempts
 	r.ckptFallbacks = m.CkptFallbacks
 	r.pristineResets = m.PristineResets

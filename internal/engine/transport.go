@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"samrdlb/internal/machine"
+	"samrdlb/internal/mpx"
+	"samrdlb/internal/trace"
+)
+
+// Transport mode names accepted by Options.Transport.
+const (
+	// TransportLoopback (and "") is the in-process mpx world: every
+	// simulated processor is a goroutine rank in one shared-memory
+	// communicator. It is the scenario/oracle reference configuration.
+	TransportLoopback = "loopback"
+	// TransportTCP runs each processor group as its own shard world
+	// behind a real localhost socket: inter-group messages travel as
+	// CRC32-framed bytes, exercising marshalling, ordering and the
+	// abort protocol. The netsim link model remains the sole timing
+	// authority — the wire carries payloads, never costs.
+	TransportTCP = "tcp"
+)
+
+// shardSet is the engine's view of a sharded wire execution: one
+// shard World plus one TCPEndpoint per processor group, fully
+// connected with the lower-dials-higher convention.
+type shardSet struct {
+	worlds []*mpx.World
+	eps    []*mpx.TCPEndpoint
+}
+
+// newTCPShards brings up one endpoint per group on an ephemeral
+// localhost port, connects every pair, and builds the shard worlds.
+func newTCPShards(sys *machine.System, wf mpx.WireFault) (*shardSet, error) {
+	ng := sys.NumGroups()
+	shardOf := func(rank int) int { return sys.GroupOf(rank) }
+	s := &shardSet{}
+	for g := 0; g < ng; g++ {
+		ep, err := mpx.ListenTCP(g, "127.0.0.1:0", shardOf)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		if wf != nil {
+			ep.SetFault(wf)
+		}
+		s.eps = append(s.eps, ep)
+	}
+	for i := 0; i < ng; i++ {
+		for j := i + 1; j < ng; j++ {
+			if err := s.eps[i].Dial(j, s.eps[j].Addr()); err != nil {
+				s.close()
+				return nil, err
+			}
+		}
+	}
+	for g := 0; g < ng; g++ {
+		w := mpx.NewShardWorld(sys.NumProcs(), shardOf, g, s.eps[g])
+		s.eps[g].Bind(w)
+		s.worlds = append(s.worlds, w)
+	}
+	return s, nil
+}
+
+// wireFailure summarises a phase that failed purely on the transport:
+// the computation never misbehaved, the wire did.
+type wireFailure struct {
+	cause  string
+	faults int        // TransportError panics across all shards
+	pairs  []commPair // (src rank, dst rank) of each failed send
+}
+
+// run executes body across every shard world concurrently and joins
+// them — the join is the global barrier between phases. A transport-
+// only failure is returned for the caller's fallback path; any other
+// rank panic is re-raised unchanged.
+func (s *shardSet) run(body func(r *mpx.Rank)) *wireFailure {
+	var wg sync.WaitGroup
+	panics := make([]interface{}, len(s.worlds))
+	for i, w := range s.worlds {
+		wg.Add(1)
+		go func(i int, w *mpx.World) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			w.Run(body)
+		}(i, w)
+	}
+	wg.Wait()
+	var merged mpx.RunPanicError
+	for _, p := range panics {
+		switch v := p.(type) {
+		case nil:
+		case *mpx.RunPanicError:
+			merged.Panics = append(merged.Panics, v.Panics...)
+		default:
+			panic(v)
+		}
+	}
+	if len(merged.Panics) == 0 {
+		return nil
+	}
+	if !merged.TransportOnly() {
+		panic(&merged)
+	}
+	f := &wireFailure{}
+	if p := merged.Primary(); p != nil {
+		f.cause = fmt.Sprintf("%v", p.Value)
+	}
+	for i := range merged.Panics {
+		if te, ok := merged.Panics[i].Value.(*mpx.TransportError); ok {
+			f.faults++
+			f.pairs = append(f.pairs, commPair{te.Src, te.Dst})
+		}
+	}
+	return f
+}
+
+// mustRun is run for phases that make no sends (per-rank kernels): a
+// transport failure there means an abort leaked across a phase
+// boundary, which the epoch protocol is supposed to prevent.
+func (s *shardSet) mustRun(body func(r *mpx.Rank)) {
+	if f := s.run(body); f != nil {
+		panic("engine: transport failure in a compute-only phase: " + f.cause)
+	}
+}
+
+// reset prepares every endpoint and world for the phase after an
+// aborted one. Endpoints go first: their epoch bump makes straggling
+// frames droppable before the worlds' mailboxes are wiped, so nothing
+// from the dead phase can land afterwards.
+func (s *shardSet) reset() {
+	for _, ep := range s.eps {
+		ep.Reset()
+	}
+	for _, w := range s.worlds {
+		w.Reset()
+	}
+}
+
+// stats sums frames and bytes actually written to the wire.
+func (s *shardSet) stats() (frames, bytes int64) {
+	for _, ep := range s.eps {
+		f, b := ep.Stats()
+		frames += f
+		bytes += b
+	}
+	return
+}
+
+func (s *shardSet) close() {
+	for _, ep := range s.eps {
+		ep.Close()
+	}
+}
+
+// runWirePhase executes one data-motion phase over the shard worlds.
+// On a transport-only failure it counts the faults, feeds them into
+// membership suspicion (the wire failing between two groups is the
+// same evidence stream a failed probe produces), resets the transports
+// and worlds, and returns false so the caller re-runs the phase over
+// the in-memory data path — which is an idempotent full rewrite of
+// exactly the cells the wire path writes, so a partial wire phase
+// followed by the fallback is bit-identical to the fallback alone.
+func (r *Runner) runWirePhase(phase string, level int, body func(rank *mpx.Rank)) bool {
+	f := r.shards.run(body)
+	if f == nil {
+		return true
+	}
+	r.transportFaults += f.faults
+	r.transportFallbacks++
+	now := r.clock.Now()
+	r.opt.Trace.Add(trace.Fault, level, now,
+		fmt.Sprintf("wire %s failed (%s); falling back to in-memory exchange", phase, f.cause))
+	seen := make(map[commPair]bool)
+	for _, pr := range f.pairs {
+		ga, gb := r.sys.GroupOf(pr.src), r.sys.GroupOf(pr.dst)
+		gp := commPair{ga, gb}
+		if seen[gp] {
+			continue
+		}
+		seen[gp] = true
+		r.noteProbeEvidence(ga, gb, true)
+	}
+	r.shards.reset()
+	return false
+}
+
+// StepDigest returns a compact fingerprint of the run's state after a
+// level-0 step — the value replicated lockstep processes exchange to
+// detect divergence. Any difference in decisions, data motion or the
+// virtual clock perturbs at least one component.
+func (r *Runner) StepDigest(step int) []float64 {
+	return []float64{
+		float64(step),
+		r.clock.Now(),
+		float64(r.globalEvals),
+		float64(r.globalRedists),
+		float64(r.localMigs),
+		float64(r.ledger.TotalCells()),
+	}
+}
+
+// Close releases the runner's transport resources (no-op for loopback
+// runs). Run calls it on exit; it is safe to call again.
+func (r *Runner) Close() {
+	if r.shards != nil {
+		r.shards.close()
+	}
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"samrdlb/internal/fault"
+	"samrdlb/internal/machine"
+	"samrdlb/internal/metrics"
+	"samrdlb/internal/mpx"
+	"samrdlb/internal/solver"
+	"samrdlb/internal/workload"
+)
+
+// runTransport executes the reference scenario (two WAN groups, two
+// procs each) under the given transport options and returns the result
+// plus the runner for field inspection.
+func runTransport(transport string, wf mpx.WireFault) (*metrics.Result, *Runner) {
+	sys := machine.WanPair(2, nil)
+	r := New(sys, workload.NewShockPool3D(16, 2), Options{
+		Steps: 3, MaxLevel: 1, WithData: true, UseMPX: true,
+		Transport: transport, WireFault: wf,
+	})
+	return r.Run(), r
+}
+
+// requireIdenticalRuns asserts the cross-transport oracle: virtual
+// time, the migration/redistribution counters, and every field value
+// must agree bit-for-bit between the two runs.
+func requireIdenticalRuns(t *testing.T, a, b *metrics.Result, ra, rb *Runner) {
+	t.Helper()
+	if a.Total != b.Total {
+		t.Errorf("virtual time differs across transports: %v vs %v", a.Total, b.Total)
+	}
+	if a.GlobalEvals != b.GlobalEvals || a.GlobalRedists != b.GlobalRedists ||
+		a.LocalMigrations != b.LocalMigrations {
+		t.Errorf("load-balancer counters differ: %d/%d/%d vs %d/%d/%d",
+			a.GlobalEvals, a.GlobalRedists, a.LocalMigrations,
+			b.GlobalEvals, b.GlobalRedists, b.LocalMigrations)
+	}
+	for l := 0; l <= 1; l++ {
+		ga, gb := ra.Hierarchy().Grids(l), rb.Hierarchy().Grids(l)
+		if len(ga) != len(gb) {
+			t.Fatalf("grid counts differ at level %d: %d vs %d", l, len(ga), len(gb))
+		}
+		for i := range ga {
+			fa, fb := ga[i].Patch.Field(solver.FieldQ), gb[i].Patch.Field(solver.FieldQ)
+			for k := range fa {
+				if fa[k] != fb[k] {
+					t.Fatalf("level %d grid %d differs at %d: %v vs %v", l, i, k, fa[k], fb[k])
+				}
+			}
+		}
+	}
+}
+
+// TestTCPTransportMatchesLoopback is the tentpole's safety net: the
+// same seeded scenario over the in-process loopback world and over
+// real per-group TCP shards must produce identical Results and
+// bit-identical field data, with the tcp run demonstrably moving
+// frames across actual sockets.
+func TestTCPTransportMatchesLoopback(t *testing.T) {
+	loopRes, loopRun := runTransport(TransportLoopback, nil)
+	tcpRes, tcpRun := runTransport(TransportTCP, nil)
+
+	requireIdenticalRuns(t, loopRes, tcpRes, loopRun, tcpRun)
+
+	if tcpRes.TransportFrames == 0 || tcpRes.TransportBytes == 0 {
+		t.Error("tcp run moved no wire frames; the exchange stayed in memory")
+	}
+	if tcpRes.TransportFaults != 0 || tcpRes.TransportFallbacks != 0 {
+		t.Errorf("clean tcp run reports %d faults, %d fallbacks",
+			tcpRes.TransportFaults, tcpRes.TransportFallbacks)
+	}
+	if loopRes.TransportFrames != 0 {
+		t.Errorf("loopback run reports %d wire frames", loopRes.TransportFrames)
+	}
+	if s := tcpRes.TransportSummary(); !strings.Contains(s, "wire transport") {
+		t.Errorf("TransportSummary = %q", s)
+	}
+	if s := loopRes.TransportSummary(); s != "" {
+		t.Errorf("loopback TransportSummary = %q, want empty", s)
+	}
+}
+
+// dropFirstOffers fails the first send attempt of every (src, dst)
+// pair. Offer indices are per-pair and never reset, so exactly the
+// first wire phase fails; every retry after the phase fallback and
+// endpoint reset succeeds.
+type dropFirstOffers struct{}
+
+func (dropFirstOffers) DropSend(src, dst int, n uint64) bool { return n == 0 }
+
+// TestWireFaultFallsBackAndStaysIdentical injects wire drops: the
+// faulted phases must fold into fault/fallback counters while the
+// fallback data path keeps the run bit-identical to loopback — a
+// flaky wire may cost availability, never correctness.
+func TestWireFaultFallsBackAndStaysIdentical(t *testing.T) {
+	loopRes, loopRun := runTransport(TransportLoopback, nil)
+	tcpRes, tcpRun := runTransport(TransportTCP, dropFirstOffers{})
+
+	requireIdenticalRuns(t, loopRes, tcpRes, loopRun, tcpRun)
+
+	if tcpRes.TransportFaults == 0 {
+		t.Error("injected drops produced no recorded transport faults")
+	}
+	if tcpRes.TransportFallbacks == 0 {
+		t.Error("faulted phases did not fall back")
+	}
+	if s := tcpRes.TransportSummary(); !strings.Contains(s, "fallback") {
+		t.Errorf("TransportSummary = %q, want fault/fallback accounting", s)
+	}
+}
+
+// TestTCPTransportRequiresMPX pins the option validation.
+func TestTCPTransportRequiresMPX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Transport=tcp without UseMPX must panic")
+		}
+	}()
+	New(machine.WanPair(1, nil), workload.NewShockPool3D(16, 2),
+		Options{Steps: 1, Transport: TransportTCP})
+}
+
+// TestUnknownTransportRejected pins the option validation.
+func TestUnknownTransportRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown Transport must panic")
+		}
+	}()
+	New(machine.WanPair(1, nil), workload.NewShockPool3D(16, 2),
+		Options{Steps: 1, WithData: true, UseMPX: true, Transport: "carrier-pigeon"})
+}
+
+// TestPruneErrorsSurfaceInResult drives the satellite fix end to end:
+// a DiskWriteError window with a negligible per-write probability lets
+// every checkpoint land but fails every prune removal, so the stranded
+// deletions must show up in Result.DiskPruneErrors and the checkpoint
+// summary instead of vanishing.
+func TestPruneErrorsSurfaceInResult(t *testing.T) {
+	sched, err := fault.NewSchedule(7,
+		fault.Event{Kind: fault.DiskWriteError, Start: 0, End: 1e9, Prob: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(machine.WanPair(2, nil), workload.NewShockPool3D(16, 2), Options{
+		Steps: 6, MaxLevel: 1,
+		CheckpointDir: t.TempDir(), CheckpointInterval: 1, CheckpointKeep: 2,
+		Faults: sched,
+	})
+	res := r.Run()
+	if res.DiskCheckpointErrors != 0 {
+		t.Fatalf("writes failed (%d); the window's probability should only hit removals", res.DiskCheckpointErrors)
+	}
+	if res.DiskPruneErrors == 0 {
+		t.Error("failed prune removals not counted in Result.DiskPruneErrors")
+	}
+	sum := res.CheckpointSummary()
+	if !strings.Contains(sum, "prune failures") {
+		t.Errorf("CheckpointSummary = %q, want prune failures reported", sum)
+	}
+}

@@ -52,7 +52,12 @@ const (
 	// checkpoint write inside [Start, End).
 	DiskBitFlip
 	// DiskWriteError makes checkpoint writes inside [Start, End) fail
-	// outright (a full disk or dying controller); nothing lands.
+	// outright (a full disk or dying controller); nothing lands. Prob,
+	// when non-zero, makes each write fail with that probability
+	// (deterministically per write index) instead of always — a
+	// flaky disk rather than a dead one. Pruned-generation deletions
+	// inside the window always fail: a disk that rejects writes
+	// rejects unlinks too.
 	DiskWriteError
 	// ProcRecovery revives processor Proc at time Start: any failure in
 	// effect ends (a windowed one early, a permanent one at all). The
@@ -114,7 +119,9 @@ type Event struct {
 	// Factor is the LinkDegrade β multiplier (≥1) or the ProcSlowdown
 	// speed multiplier (0 < Factor ≤ 1).
 	Factor float64
-	// Prob is the ProbeLoss per-message drop probability in [0, 1].
+	// Prob is the ProbeLoss per-message drop probability in [0, 1],
+	// or the DiskWriteError per-write failure probability (0 = every
+	// write in the window fails, preserving older scripts).
 	Prob float64
 }
 
@@ -140,6 +147,9 @@ func (e Event) String() string {
 	case DiskBitFlip:
 		return fmt.Sprintf("disk-bit-flip start=%g end=%g", e.Start, e.End)
 	case DiskWriteError:
+		if e.Prob > 0 {
+			return fmt.Sprintf("disk-write-error start=%g end=%g prob=%g", e.Start, e.End, e.Prob)
+		}
 		return fmt.Sprintf("disk-write-error start=%g end=%g", e.Start, e.End)
 	case ProcRecovery:
 		return fmt.Sprintf("proc-recover proc=%d at=%g", e.Proc, e.Start)
@@ -202,6 +212,9 @@ func (e Event) validate() error {
 	}
 	if e.Kind == ProbeLoss && (e.Prob < 0 || e.Prob > 1) {
 		return fmt.Errorf("probe-loss: prob %g must be in [0, 1]", e.Prob)
+	}
+	if e.Kind == DiskWriteError && (e.Prob < 0 || e.Prob > 1) {
+		return fmt.Errorf("disk-write-error: prob %g must be in [0, 1]", e.Prob)
 	}
 	return nil
 }
@@ -525,8 +538,12 @@ func (lf *LinkFault) Degrade(t float64) float64 { return lf.s.DegradeFactor(lf.a
 func (lf *LinkFault) DropProbe(t float64) bool { return lf.s.DropProbe(lf.a, lf.b, t) }
 
 // diskKey salts the deterministic bit-flip position so it is
-// independent of the probe-loss hash stream.
-const diskKey = 0xd15cfa17
+// independent of the probe-loss hash stream; diskWriteKey salts the
+// per-write failure draw of a probabilistic DiskWriteError window.
+const (
+	diskKey      = 0xd15cfa17
+	diskWriteKey = 0xd15cbad1
+)
 
 // DiskFault binds the schedule to a checkpoint store. It satisfies
 // ckpt's DiskFault interface without an import in either direction.
@@ -539,8 +556,39 @@ type DiskFault struct{ s *Schedule }
 func (s *Schedule) ForDisk() *DiskFault { return &DiskFault{s: s} }
 
 // WriteError reports whether the n-th checkpoint write at time t
-// fails outright.
+// fails outright. An event with Prob == 0 fails every write in its
+// window (the historical behaviour); Prob in (0, 1] fails each write
+// with that probability, drawn deterministically from the write
+// index so a resumed run replays the same fates.
 func (d *DiskFault) WriteError(n int, t float64) bool {
+	if d == nil || d.s == nil {
+		return false
+	}
+	prob := 0.0
+	for _, e := range d.s.events {
+		if e.Kind != DiskWriteError || !e.in(t) {
+			continue
+		}
+		p := e.Prob
+		if p == 0 {
+			p = 1
+		}
+		if p > prob {
+			prob = p
+		}
+	}
+	if prob == 0 {
+		return false
+	}
+	return hashUnit(uint64(d.s.seed), diskWriteKey, uint64(n)) < prob
+}
+
+// RemoveError reports whether deleting a pruned checkpoint file fails
+// at time t: any DiskWriteError window covers removals too — a disk
+// that rejects writes rejects unlinks — regardless of the window's
+// per-write probability. n keys nothing today but mirrors the other
+// disk-fault decisions' shape.
+func (d *DiskFault) RemoveError(n int, t float64) bool {
 	if d == nil || d.s == nil {
 		return false
 	}

@@ -94,11 +94,26 @@ type Result struct {
 	// counts on-disk generations skipped as corrupt during those
 	// restores. PristineRestarts counts recoveries that exhausted
 	// every checkpoint and rebuilt from initial conditions.
+	// DiskPruneErrors counts pruned-generation files whose deletion
+	// failed (the file is stranded on disk; the store no longer tracks
+	// it).
 	DiskCheckpoints      int
 	DiskCheckpointErrors int
 	CheckpointFallbacks  int
 	CorruptGenerations   int
 	PristineRestarts     int
+	DiskPruneErrors      int
+
+	// Wire-transport outcome (all zero unless the run executed over a
+	// socket transport). TransportFaults counts rank sends that failed
+	// on the wire (injected or real); TransportFallbacks counts
+	// exchange phases that consequently re-ran over the in-memory data
+	// path. TransportFrames and TransportBytes count frames and bytes
+	// actually written to the wire.
+	TransportFaults    int
+	TransportFallbacks int
+	TransportFrames    int64
+	TransportBytes     int64
 }
 
 // Faulty reports whether the run observed any fault-layer activity.
@@ -150,12 +165,28 @@ func (r *Result) RecoveryReport() string {
 }
 
 // CheckpointSummary renders the durable-checkpoint counters (empty
-// string when no store was configured and nothing fell back).
+// string when no store was configured and nothing fell back). Prune
+// failures are appended only when they happened, so fault-free runs
+// keep their historical output byte for byte.
 func (r *Result) CheckpointSummary() string {
 	if r.DiskCheckpoints == 0 && r.DiskCheckpointErrors == 0 {
 		return ""
 	}
-	return fmt.Sprintf("durable checkpoints: %d written, %d failed", r.DiskCheckpoints, r.DiskCheckpointErrors)
+	s := fmt.Sprintf("durable checkpoints: %d written, %d failed", r.DiskCheckpoints, r.DiskCheckpointErrors)
+	if r.DiskPruneErrors > 0 {
+		s += fmt.Sprintf(", %d prune failures", r.DiskPruneErrors)
+	}
+	return s
+}
+
+// TransportSummary renders the wire-transport counters (empty string
+// for runs that never touched a socket transport).
+func (r *Result) TransportSummary() string {
+	if r.TransportFrames == 0 && r.TransportFaults == 0 {
+		return ""
+	}
+	return fmt.Sprintf("wire transport: %d frames, %d bytes, %d faults (%d phase fallbacks)",
+		r.TransportFrames, r.TransportBytes, r.TransportFaults, r.TransportFallbacks)
 }
 
 // Compute returns the compute share of the breakdown.

@@ -9,11 +9,23 @@
 // bulk-synchronous exchange patterns — every rank posting all its
 // sends, then draining its receives — cannot deadlock. Receives match
 // (source, tag) pairs and tolerate out-of-order arrival.
+//
+// A world can also host only a subset ("shard") of its ranks, with
+// the rest living behind a Transport (see NewShardWorld): sends to a
+// remote rank are carried by the transport, receives from remote
+// ranks are satisfied by frames the transport delivers into the local
+// mailboxes, and barriers synchronise only the local ranks. Because
+// mailboxes match (source, tag) FIFO and the transports preserve
+// per-connection order, point-to-point semantics are identical to the
+// all-local world.
 package mpx
 
 import (
 	"fmt"
+	"runtime/debug"
+	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // World is a communicator over n ranks.
@@ -21,19 +33,70 @@ type World struct {
 	n     int
 	boxes [][]*mailbox // boxes[dst][src]
 	bar   *barrier
+
+	// Sharding seam. For the classic all-local world shardOf is nil
+	// and local covers every rank; a shard world hosts only the ranks
+	// with shardOf[rank] == self and routes the rest through tr.
+	local   []int
+	shardOf []int
+	self    int
+	tr      Transport
+
+	aborted atomic.Bool
+	cause   atomic.Value // string; first abort cause wins
 }
 
-// NewWorld creates a communicator with n ranks.
+// NewWorld creates a communicator with n ranks, all hosted locally.
 func NewWorld(n int) *World {
 	if n <= 0 {
 		panic("mpx.NewWorld: need at least one rank")
 	}
-	w := &World{n: n, bar: newBarrier(n)}
+	w := newWorldCommon(n)
+	w.local = make([]int, n)
+	for i := range w.local {
+		w.local[i] = i
+	}
+	w.bar = newBarrier(w, n)
+	return w
+}
+
+// NewShardWorld creates a communicator over n ranks of which only the
+// ranks with shardOf(rank) == self run locally; sends to the others
+// travel over tr, and their sends arrive via Deliver (the transport
+// calls it from its receive path). Barriers synchronise the local
+// ranks only — cross-shard phases rely on tag matching, and the
+// caller joins the shards between phases.
+func NewShardWorld(n int, shardOf func(rank int) int, self int, tr Transport) *World {
+	if n <= 0 {
+		panic("mpx.NewShardWorld: need at least one rank")
+	}
+	if shardOf == nil || tr == nil {
+		panic("mpx.NewShardWorld: shardOf and transport are required")
+	}
+	w := newWorldCommon(n)
+	w.shardOf = make([]int, n)
+	w.self = self
+	w.tr = tr
+	for r := 0; r < n; r++ {
+		w.shardOf[r] = shardOf(r)
+		if w.shardOf[r] == self {
+			w.local = append(w.local, r)
+		}
+	}
+	if len(w.local) == 0 {
+		panic(fmt.Sprintf("mpx.NewShardWorld: shard %d hosts no ranks", self))
+	}
+	w.bar = newBarrier(w, len(w.local))
+	return w
+}
+
+func newWorldCommon(n int) *World {
+	w := &World{n: n}
 	w.boxes = make([][]*mailbox, n)
 	for dst := 0; dst < n; dst++ {
 		w.boxes[dst] = make([]*mailbox, n)
 		for src := 0; src < n; src++ {
-			w.boxes[dst][src] = newMailbox()
+			w.boxes[dst][src] = newMailbox(w)
 		}
 	}
 	return w
@@ -42,30 +105,173 @@ func NewWorld(n int) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
 
-// Run executes body once per rank, each on its own goroutine, and
-// waits for all of them. A panic in any rank is re-raised in the
-// caller after the others finish.
+// LocalRanks returns the rank IDs hosted by this world (all of them
+// for a classic world, the shard's subset for a shard world).
+func (w *World) LocalRanks() []int { return append([]int(nil), w.local...) }
+
+// RankPanic records one rank's panic with the original value and the
+// goroutine stack it unwound.
+type RankPanic struct {
+	Rank  int
+	Value interface{}
+	Stack []byte
+}
+
+// RunPanicError aggregates every rank panic of one Run call. Run
+// re-raises it as the panic value, so callers recover the original
+// per-rank values instead of a flattened string.
+type RunPanicError struct {
+	Panics []RankPanic
+}
+
+func (e *RunPanicError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mpx: %d rank(s) panicked:", len(e.Panics))
+	for _, p := range e.Panics {
+		fmt.Fprintf(&b, " [rank %d: %v]", p.Rank, p.Value)
+	}
+	return b.String()
+}
+
+// Primary returns the first panic that is not a secondary AbortError
+// (falling back to the first panic of any kind): the failure that
+// aborted the phase, as opposed to the ranks it woke up.
+func (e *RunPanicError) Primary() *RankPanic {
+	for i := range e.Panics {
+		if _, ok := e.Panics[i].Value.(*AbortError); !ok {
+			return &e.Panics[i]
+		}
+	}
+	if len(e.Panics) > 0 {
+		return &e.Panics[0]
+	}
+	return nil
+}
+
+// TransportOnly reports whether every panic is either a transport
+// failure or a secondary abort — i.e. the phase failed purely because
+// the wire did, and the computation itself never misbehaved.
+func (e *RunPanicError) TransportOnly() bool {
+	if len(e.Panics) == 0 {
+		return false
+	}
+	for _, p := range e.Panics {
+		switch p.Value.(type) {
+		case *TransportError, *AbortError:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes body once per locally hosted rank, each on its own
+// goroutine, and waits for all of them. If any rank panics the world
+// aborts: blocked ranks are woken with an AbortError, the transport
+// (if any) propagates the abort to peer shards, and Run re-raises a
+// *RunPanicError aggregating every rank's original panic value.
+//
+// A world that is already aborted when Run is called fails immediately
+// with a secondary AbortError per local rank: on a shard world a peer
+// shard can fail the current phase (and propagate its abort over the
+// wire) before this shard's Run has even started, and that race must
+// surface as the same transport-only failure the caller's fallback
+// path already handles — Reset clears it.
 func (w *World) Run(body func(r *Rank)) {
+	if w.aborted.Load() {
+		var agg RunPanicError
+		for _, id := range w.local {
+			agg.Panics = append(agg.Panics, RankPanic{
+				Rank:  id,
+				Value: &AbortError{Cause: w.abortCause()},
+				Stack: debug.Stack(),
+			})
+		}
+		panic(&agg)
+	}
 	var wg sync.WaitGroup
-	panics := make([]interface{}, w.n)
-	wg.Add(w.n)
-	for i := 0; i < w.n; i++ {
-		go func(id int) {
+	panics := make([]*RankPanic, len(w.local))
+	wg.Add(len(w.local))
+	for i, id := range w.local {
+		go func(slot, id int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[id] = p
+					panics[slot] = &RankPanic{Rank: id, Value: p, Stack: debug.Stack()}
+					// Wake ranks blocked on this one so the Run joins
+					// instead of deadlocking.
+					w.abort(fmt.Sprintf("rank %d panicked: %v", id, p), false)
 				}
 			}()
 			body(&Rank{world: w, id: id})
-		}(i)
+		}(i, id)
 	}
 	wg.Wait()
-	for id, p := range panics {
+	var agg RunPanicError
+	for _, p := range panics {
 		if p != nil {
-			panic(fmt.Sprintf("mpx: rank %d panicked: %v", id, p))
+			agg.Panics = append(agg.Panics, *p)
 		}
 	}
+	if len(agg.Panics) > 0 {
+		panic(&agg)
+	}
+}
+
+// abort wakes every blocked local rank (they panic with AbortError)
+// and, unless the abort itself arrived over the wire, asks the
+// transport to propagate it to peer shards. First cause wins.
+func (w *World) abort(cause string, fromWire bool) {
+	if !w.aborted.CompareAndSwap(false, true) {
+		return
+	}
+	w.cause.Store(cause)
+	for _, dst := range w.local {
+		for _, box := range w.boxes[dst] {
+			box.wake()
+		}
+	}
+	w.bar.wake()
+	if !fromWire && w.tr != nil {
+		w.tr.Abort(cause)
+	}
+}
+
+// AbortFromWire aborts the world on behalf of a remote shard (called
+// by transports from their receive path).
+func (w *World) AbortFromWire(cause string) { w.abort(cause, true) }
+
+// Deliver places a transported message into the destination rank's
+// mailbox; the transport's receive path calls it. The payload's
+// ownership passes to the mailbox.
+func (w *World) Deliver(src, dst, tag int, data []float64) {
+	if src < 0 || src >= w.n || dst < 0 || dst >= w.n {
+		panic(fmt.Sprintf("mpx.Deliver: bad endpoints %d -> %d", src, dst))
+	}
+	w.boxes[dst][src].put(message{tag: tag, data: data})
+}
+
+// Reset clears an aborted world for reuse: drains every mailbox
+// (messages from the aborted phase must not leak tags into the next
+// one), rearms the barrier, and clears the abort flag. The caller
+// must Reset the transport's sequence/epoch state alongside.
+func (w *World) Reset() {
+	for dst := range w.boxes {
+		for _, box := range w.boxes[dst] {
+			box.reset()
+		}
+	}
+	w.bar.reset()
+	w.cause.Store("")
+	w.aborted.Store(false)
+}
+
+// abortCause returns the recorded cause ("" when not aborted).
+func (w *World) abortCause() string {
+	if c, ok := w.cause.Load().(string); ok {
+		return c
+	}
+	return ""
 }
 
 // Rank is one process of the world, valid only inside Run's body.
@@ -81,27 +287,52 @@ func (r *Rank) ID() int { return r.id }
 func (r *Rank) Size() int { return r.world.n }
 
 // Send delivers data to rank `to` under the given tag. The slice is
-// copied; Send never blocks. Sending to oneself is allowed.
+// copied (or serialised) before Send returns; Send never blocks.
+// Sending to oneself is allowed. User tags must be >= 0 — negative
+// tags are reserved for the collectives and would corrupt them.
 func (r *Rank) Send(to, tag int, data []float64) {
-	if to < 0 || to >= r.world.n {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpx.Send: negative tag %d is reserved for collectives", tag))
+	}
+	r.send(to, tag, data)
+}
+
+// send is the unchecked path the collectives use with reserved tags.
+func (r *Rank) send(to, tag int, data []float64) {
+	w := r.world
+	if to < 0 || to >= w.n {
 		panic(fmt.Sprintf("mpx.Send: bad destination %d", to))
+	}
+	if w.shardOf != nil && w.shardOf[to] != w.self {
+		if err := w.tr.Send(r.id, to, tag, data); err != nil {
+			panic(&TransportError{Src: r.id, Dst: to, Tag: tag, Err: err})
+		}
+		return
 	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
-	r.world.boxes[to][r.id].put(message{tag: tag, data: cp})
+	w.boxes[to][r.id].put(message{tag: tag, data: cp})
 }
 
 // Recv blocks until a message with the given tag arrives from rank
 // `from` and returns its payload. Messages from the same source with
-// other tags are queued, not lost.
+// other tags are queued, not lost. User tags must be >= 0.
 func (r *Rank) Recv(from, tag int) []float64 {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpx.Recv: negative tag %d is reserved for collectives", tag))
+	}
+	return r.recv(from, tag)
+}
+
+// recv is the unchecked path the collectives use with reserved tags.
+func (r *Rank) recv(from, tag int) []float64 {
 	if from < 0 || from >= r.world.n {
 		panic(fmt.Sprintf("mpx.Recv: bad source %d", from))
 	}
 	return r.world.boxes[r.id][from].take(tag)
 }
 
-// Barrier blocks until every rank has entered it.
+// Barrier blocks until every locally hosted rank has entered it.
 func (r *Rank) Barrier() { r.world.bar.await() }
 
 // reserved tag space for collectives; user tags must be >= 0.
@@ -128,15 +359,15 @@ func (r *Rank) AllGather(x float64) []float64 {
 		out := make([]float64, n)
 		out[0] = x
 		for src := 1; src < n; src++ {
-			out[src] = r.Recv(src, tagGather)[0]
+			out[src] = r.recv(src, tagGather)[0]
 		}
 		for dst := 1; dst < n; dst++ {
-			r.Send(dst, tagGather, out)
+			r.send(dst, tagGather, out)
 		}
 		return out
 	}
-	r.Send(0, tagGather, []float64{x})
-	return r.Recv(0, tagGather)
+	r.send(0, tagGather, []float64{x})
+	return r.recv(0, tagGather)
 }
 
 // Bcast distributes root's data to every rank; non-root ranks pass
@@ -145,14 +376,14 @@ func (r *Rank) Bcast(root int, data []float64) []float64 {
 	if r.id == root {
 		for dst := 0; dst < r.world.n; dst++ {
 			if dst != root {
-				r.Send(dst, tagBcast, data)
+				r.send(dst, tagBcast, data)
 			}
 		}
 		cp := make([]float64, len(data))
 		copy(cp, data)
 		return cp
 	}
-	return r.Recv(root, tagBcast)
+	return r.recv(root, tagBcast)
 }
 
 // message is one queued transfer.
@@ -161,15 +392,21 @@ type message struct {
 	data []float64
 }
 
+// smallQueueCap is the backing-array size a drained mailbox keeps; a
+// queue that grew beyond it during a burst releases the array when it
+// drains, so long soak runs stop pinning burst-sized buffers.
+const smallQueueCap = 8
+
 // mailbox is an unbounded (src → dst) queue with tag matching.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []message
+	w       *World
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(w *World) *mailbox {
+	m := &mailbox{w: w}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -185,27 +422,63 @@ func (m *mailbox) take(tag int) []float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for i, msg := range m.pending {
-			if msg.tag == tag {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				return msg.data
+		for i := range m.pending {
+			if m.pending[i].tag != tag {
+				continue
 			}
+			data := m.pending[i].data
+			// Compact and zero the vacated tail slot: the shift alone
+			// would leave a duplicate tail entry whose payload stays
+			// reachable through the backing array forever.
+			copy(m.pending[i:], m.pending[i+1:])
+			last := len(m.pending) - 1
+			m.pending[last] = message{}
+			m.pending = m.pending[:last]
+			if last == 0 && cap(m.pending) > smallQueueCap {
+				m.pending = nil
+			}
+			return data
+		}
+		if m.w != nil && m.w.aborted.Load() {
+			panic(&AbortError{Cause: m.w.abortCause()})
 		}
 		m.cond.Wait()
 	}
 }
 
-// barrier is a reusable counting barrier.
+// wake broadcasts under the lock so a rank between its abort check
+// and cond.Wait cannot miss the wakeup.
+func (m *mailbox) wake() {
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) reset() {
+	m.mu.Lock()
+	m.pending = nil
+	m.mu.Unlock()
+}
+
+// queueState reports the queue length and backing capacity (tests).
+func (m *mailbox) queueState() (length, capacity int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending), cap(m.pending)
+}
+
+// barrier is a reusable counting barrier over the world's local ranks.
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
+	w     *World
 	n     int
 	count int
 	gen   int
 }
 
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
+func newBarrier(w *World, n int) *barrier {
+	b := &barrier{w: w, n: n}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -222,6 +495,23 @@ func (b *barrier) await() {
 		return
 	}
 	for gen == b.gen {
+		if b.w != nil && b.w.aborted.Load() {
+			panic(&AbortError{Cause: b.w.abortCause()})
+		}
 		b.cond.Wait()
 	}
+}
+
+func (b *barrier) wake() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.count = 0
+	b.gen++
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }

@@ -1,0 +1,405 @@
+package mpx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WireFault injects deterministic send failures into a TCP transport:
+// DropSend is consulted with the per-(src, dst) offer index — a
+// monotone count of send attempts, never reset — so a pure function
+// of (src, dst, n) yields the same fates on every run.
+type WireFault interface {
+	DropSend(src, dst int, n uint64) bool
+}
+
+// connWait bounds how long a send waits for the peer connection to
+// finish its handshake (covers the accept-side registration racing
+// the first post-dial send).
+const connWait = 10 * time.Second
+
+// TCPEndpoint carries one shard's traffic over real sockets: it
+// listens for peer shards, dials others (convention: the lower shard
+// id dials the higher), and exchanges CRC32-framed messages tagged by
+// (src, dst, tag, seq). The receive path verifies every checksum and
+// per-(src, dst) sequence continuity, delivers into the bound sink
+// (the shard's World), and propagates aborts. An epoch counter,
+// bumped by Reset, lets the caller discard frames that straggle in
+// from an aborted phase.
+type TCPEndpoint struct {
+	shard   int
+	shardOf func(rank int) int
+	ln      net.Listener
+
+	mu       sync.Mutex
+	sink     Sink
+	conns    map[int]*wireConn
+	connCh   chan struct{} // closed+replaced when a conn registers or the endpoint closes
+	sendSeq  map[[2]int]uint64
+	offerSeq map[[2]int]uint64
+	fault    WireFault
+
+	recvMu  sync.Mutex
+	recvSeq map[[2]int]uint64
+
+	epoch  atomic.Uint32
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	errMu    sync.Mutex
+	firstErr error // first receive-path failure; poisons the endpoint
+
+	framesSent, bytesSent atomic.Int64
+	framesRecv, bytesRecv atomic.Int64
+}
+
+// wireConn is one peer connection with serialised writes.
+type wireConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+var errEndpointClosed = errors.New("mpx: endpoint closed")
+
+// ListenTCP opens a shard endpoint on addr (use "127.0.0.1:0" for an
+// ephemeral localhost port) and starts accepting peer connections.
+func ListenTCP(shard int, addr string, shardOf func(rank int) int) (*TCPEndpoint, error) {
+	if shardOf == nil {
+		return nil, fmt.Errorf("mpx.ListenTCP: shardOf is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpx.ListenTCP: %w", err)
+	}
+	e := &TCPEndpoint{
+		shard:    shard,
+		shardOf:  shardOf,
+		ln:       ln,
+		conns:    make(map[int]*wireConn),
+		connCh:   make(chan struct{}),
+		sendSeq:  make(map[[2]int]uint64),
+		offerSeq: make(map[[2]int]uint64),
+		recvSeq:  make(map[[2]int]uint64),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the endpoint's listen address.
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// Shard returns the endpoint's shard id.
+func (e *TCPEndpoint) Shard() int { return e.shard }
+
+// Bind attaches the sink (the shard's World) that receives delivered
+// messages. Must be called before any peer traffic arrives.
+func (e *TCPEndpoint) Bind(s Sink) {
+	e.mu.Lock()
+	e.sink = s
+	e.mu.Unlock()
+}
+
+// SetFault installs a deterministic send-failure injector.
+func (e *TCPEndpoint) SetFault(f WireFault) {
+	e.mu.Lock()
+	e.fault = f
+	e.mu.Unlock()
+}
+
+// Dial connects to a peer shard and completes the handshake. Use the
+// lower-dials-higher convention so each pair has exactly one
+// connection.
+func (e *TCPEndpoint) Dial(peer int, addr string) error {
+	e.mu.Lock()
+	_, dup := e.conns[peer]
+	e.mu.Unlock()
+	if dup {
+		return fmt.Errorf("mpx: already connected to shard %d", peer)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("mpx: dial shard %d: %w", peer, err)
+	}
+	if err := writeHandshake(c, e.shard); err != nil {
+		c.Close()
+		return fmt.Errorf("mpx: handshake with shard %d: %w", peer, err)
+	}
+	got, err := readHandshake(c)
+	if err != nil {
+		c.Close()
+		return fmt.Errorf("mpx: handshake with shard %d: %w", peer, err)
+	}
+	if got != peer {
+		c.Close()
+		return fmt.Errorf("mpx: dialed shard %d but peer identifies as %d", peer, got)
+	}
+	e.register(peer, c)
+	return nil
+}
+
+// acceptLoop admits peer connections: read their handshake, answer
+// with ours, register.
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		peer, err := readHandshake(c)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		if err := writeHandshake(c, e.shard); err != nil {
+			c.Close()
+			continue
+		}
+		e.register(peer, c)
+	}
+}
+
+// register records the peer connection, wakes waiting senders, and
+// starts its read loop. A duplicate (both sides dialed) is rejected.
+func (e *TCPEndpoint) register(peer int, c net.Conn) {
+	e.mu.Lock()
+	if _, dup := e.conns[peer]; dup || e.closed.Load() {
+		e.mu.Unlock()
+		c.Close()
+		return
+	}
+	wc := &wireConn{c: c}
+	e.conns[peer] = wc
+	close(e.connCh)
+	e.connCh = make(chan struct{})
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.readLoop(wc)
+}
+
+// conn returns the peer connection, waiting briefly for a handshake
+// still in flight.
+func (e *TCPEndpoint) conn(peer int) (*wireConn, error) {
+	deadline := time.Now().Add(connWait)
+	for {
+		e.mu.Lock()
+		if c, ok := e.conns[peer]; ok {
+			e.mu.Unlock()
+			return c, nil
+		}
+		ch := e.connCh
+		e.mu.Unlock()
+		if e.closed.Load() {
+			return nil, errEndpointClosed
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("mpx: no connection to shard %d", peer)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// Send frames and writes one message to the shard hosting dst. The
+// fault injector is consulted first (against the offer index, which
+// advances even for dropped messages, keeping fates deterministic);
+// the wire sequence number advances only for frames actually written,
+// preserving receive-side continuity.
+func (e *TCPEndpoint) Send(src, dst, tag int, data []float64) error {
+	if err := e.Err(); err != nil {
+		return err
+	}
+	if e.closed.Load() {
+		return errEndpointClosed
+	}
+	peer := e.shardOf(dst)
+	key := [2]int{src, dst}
+	e.mu.Lock()
+	offer := e.offerSeq[key]
+	e.offerSeq[key] = offer + 1
+	fault := e.fault
+	sink := e.sink
+	e.mu.Unlock()
+	if fault != nil && fault.DropSend(src, dst, offer) {
+		return fmt.Errorf("mpx: injected wire fault dropped %d -> %d (offer %d)", src, dst, offer)
+	}
+	if peer == e.shard {
+		// Self-shard delivery (the World normally short-circuits this,
+		// but be correct for direct users).
+		if sink == nil {
+			return fmt.Errorf("mpx: no sink bound on shard %d", e.shard)
+		}
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		sink.Deliver(src, dst, tag, cp)
+		return nil
+	}
+	c, err := e.conn(peer)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	seq := e.sendSeq[key]
+	e.sendSeq[key] = seq + 1
+	e.mu.Unlock()
+	frame := encodeDataFrame(e.epoch.Load(), src, dst, tag, seq, data)
+	c.mu.Lock()
+	_, werr := c.c.Write(frame)
+	c.mu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("mpx: write to shard %d: %w", peer, werr)
+	}
+	e.framesSent.Add(1)
+	e.bytesSent.Add(int64(len(frame)))
+	return nil
+}
+
+// Abort broadcasts an abort notification to every peer, best-effort.
+func (e *TCPEndpoint) Abort(cause string) {
+	frame := encodeAbortFrame(e.epoch.Load(), cause)
+	e.mu.Lock()
+	conns := make([]*wireConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	for _, c := range conns {
+		c.mu.Lock()
+		c.c.Write(frame)
+		c.mu.Unlock()
+	}
+}
+
+// readLoop drains one peer connection: verify framing and sequence
+// continuity, drop frames from stale epochs, deliver the rest.
+func (e *TCPEndpoint) readLoop(wc *wireConn) {
+	defer e.wg.Done()
+	for {
+		payload, err := readWireFrame(wc.c)
+		if err != nil {
+			if e.closed.Load() || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return // orderly teardown
+			}
+			e.poison(fmt.Errorf("mpx: receive on shard %d: %w", e.shard, err))
+			return
+		}
+		msg, err := decodeFrame(payload)
+		if err != nil {
+			e.poison(err)
+			return
+		}
+		e.mu.Lock()
+		sink := e.sink
+		e.mu.Unlock()
+		if sink == nil {
+			e.poison(fmt.Errorf("mpx: frame arrived on shard %d before Bind", e.shard))
+			return
+		}
+		// The epoch check and the delivery happen under recvMu, which
+		// Reset also takes to bump the epoch: a frame is therefore either
+		// fully delivered before a Reset (and cleared by the paired
+		// World.Reset) or observed stale and dropped — never delivered
+		// into the freshly reset world.
+		e.recvMu.Lock()
+		if msg.epoch != e.epoch.Load() {
+			e.recvMu.Unlock()
+			continue // straggler from an aborted phase
+		}
+		switch msg.kind {
+		case frameAbort:
+			sink.AbortFromWire(msg.cause)
+			e.recvMu.Unlock()
+		case frameData:
+			key := [2]int{msg.src, msg.dst}
+			expect := e.recvSeq[key]
+			if msg.seq != expect {
+				e.recvMu.Unlock()
+				e.poison(fmt.Errorf("mpx: sequence break %d -> %d: got %d, want %d",
+					msg.src, msg.dst, msg.seq, expect))
+				return
+			}
+			e.recvSeq[key] = expect + 1
+			e.framesRecv.Add(1)
+			e.bytesRecv.Add(int64(wireHdr + len(payload)))
+			sink.Deliver(msg.src, msg.dst, msg.tag, msg.data)
+			e.recvMu.Unlock()
+		}
+	}
+}
+
+// poison records the first receive-path failure and aborts the bound
+// world so blocked ranks fail fast instead of hanging.
+func (e *TCPEndpoint) poison(err error) {
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+	e.mu.Lock()
+	sink := e.sink
+	e.mu.Unlock()
+	if sink != nil {
+		sink.AbortFromWire(err.Error())
+	}
+}
+
+// Err returns the first receive-path failure (nil if none).
+func (e *TCPEndpoint) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}
+
+// Reset prepares the endpoint for the phase after an abort: the epoch
+// bump makes straggling frames from the aborted phase droppable, and
+// the wire sequence maps restart with it. The offer index is NOT
+// reset — fault-injection fates stay a function of the global attempt
+// count. Every connected endpoint must be Reset together, while no
+// phase is running.
+func (e *TCPEndpoint) Reset() {
+	e.mu.Lock()
+	e.sendSeq = make(map[[2]int]uint64)
+	e.mu.Unlock()
+	e.recvMu.Lock()
+	e.epoch.Add(1)
+	e.recvSeq = make(map[[2]int]uint64)
+	e.recvMu.Unlock()
+	e.errMu.Lock()
+	e.firstErr = nil
+	e.errMu.Unlock()
+}
+
+// Stats returns frames and bytes sent over the wire (receive counts
+// mirror the peers' sends).
+func (e *TCPEndpoint) Stats() (frames, bytes int64) {
+	return e.framesSent.Load(), e.bytesSent.Load()
+}
+
+// Close shuts the listener and every connection down and joins the
+// endpoint's goroutines.
+func (e *TCPEndpoint) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	e.ln.Close()
+	e.mu.Lock()
+	for _, c := range e.conns {
+		c.c.Close()
+	}
+	close(e.connCh)
+	e.connCh = make(chan struct{})
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}

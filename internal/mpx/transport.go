@@ -1,0 +1,134 @@
+package mpx
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transport carries messages between shard worlds. Send must copy or
+// serialise data before returning (the caller reuses the slice) and
+// must preserve per-(src, dst) order — mailbox matching is FIFO per
+// (source, tag), so an order-preserving transport keeps shard-world
+// semantics identical to the all-local world. Abort propagates a
+// failure to peer shards so their blocked ranks wake instead of
+// deadlocking; it is best-effort (an unreachable peer is already
+// failing). Close releases the transport's resources.
+type Transport interface {
+	Send(src, dst, tag int, data []float64) error
+	Abort(cause string)
+	Close() error
+}
+
+// Sink receives messages arriving from a Transport's receive path.
+// *World implements it.
+type Sink interface {
+	Deliver(src, dst, tag int, data []float64)
+	AbortFromWire(cause string)
+}
+
+// TransportError is the panic value a rank raises when its send could
+// not be carried: the computation is fine, the wire is not. Callers
+// that recover a RunPanicError whose panics are TransportOnly can
+// fall back to a local data path and fold the failure into their
+// health machinery.
+type TransportError struct {
+	Src, Dst, Tag int
+	Err           error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("mpx: transport send %d -> %d (tag %d): %v", e.Src, e.Dst, e.Tag, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// AbortError is the panic value a blocked rank raises when its world
+// aborts underneath it — another rank panicked, locally or on a peer
+// shard. It is a secondary failure: Primary() on the aggregated
+// RunPanicError identifies the cause.
+type AbortError struct {
+	Cause string
+}
+
+func (e *AbortError) Error() string { return "mpx: world aborted: " + e.Cause }
+
+// LocalFabric connects shard worlds in-process without sockets: an
+// order-preserving, error-free Transport used to exercise the shard
+// seam deterministically (tests) and by callers that want shard
+// semantics — local barriers, explicit delivery — without the wire.
+// A FaultFunc can force sends to fail, to test the abort/fallback
+// path.
+type LocalFabric struct {
+	shardOf func(rank int) int
+
+	mu    sync.Mutex
+	sinks map[int]Sink
+	fault func(src, dst, tag int) error
+}
+
+// NewLocalFabric creates a fabric routing rank r to shard shardOf(r).
+func NewLocalFabric(shardOf func(rank int) int) *LocalFabric {
+	if shardOf == nil {
+		panic("mpx.NewLocalFabric: shardOf is required")
+	}
+	return &LocalFabric{shardOf: shardOf, sinks: make(map[int]Sink)}
+}
+
+// Bind attaches shard's sink (its world).
+func (f *LocalFabric) Bind(shard int, s Sink) {
+	f.mu.Lock()
+	f.sinks[shard] = s
+	f.mu.Unlock()
+}
+
+// SetFault installs a send-failure injector (nil clears it).
+func (f *LocalFabric) SetFault(fn func(src, dst, tag int) error) {
+	f.mu.Lock()
+	f.fault = fn
+	f.mu.Unlock()
+}
+
+// Endpoint returns the Transport view one shard uses.
+func (f *LocalFabric) Endpoint(shard int) Transport {
+	return &fabricEndpoint{f: f, shard: shard}
+}
+
+type fabricEndpoint struct {
+	f     *LocalFabric
+	shard int
+}
+
+func (e *fabricEndpoint) Send(src, dst, tag int, data []float64) error {
+	e.f.mu.Lock()
+	fault := e.f.fault
+	sink := e.f.sinks[e.f.shardOf(dst)]
+	e.f.mu.Unlock()
+	if fault != nil {
+		if err := fault(src, dst, tag); err != nil {
+			return err
+		}
+	}
+	if sink == nil {
+		return fmt.Errorf("mpx: no sink bound for shard %d", e.f.shardOf(dst))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	sink.Deliver(src, dst, tag, cp)
+	return nil
+}
+
+func (e *fabricEndpoint) Abort(cause string) {
+	e.f.mu.Lock()
+	sinks := make([]Sink, 0, len(e.f.sinks))
+	for shard, s := range e.f.sinks {
+		if shard != e.shard {
+			sinks = append(sinks, s)
+		}
+	}
+	e.f.mu.Unlock()
+	for _, s := range sinks {
+		s.AbortFromWire(cause)
+	}
+}
+
+func (e *fabricEndpoint) Close() error { return nil }

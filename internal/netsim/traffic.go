@@ -4,6 +4,12 @@
 // shared links carrying time-varying background traffic that reduces
 // the effective bandwidth. It also implements the paper's two-message
 // probing that estimates α and β at runtime (Section 4.2).
+//
+// The modelled links are the sole timing authority for every run:
+// when the engine carries rank messages over a real socket transport
+// (engine.Options.Transport = "tcp"), the wire moves payload bytes
+// but contributes nothing to virtual time — all communication charges
+// still come from these links.
 package netsim
 
 import (
