@@ -23,9 +23,17 @@ type lockstep struct {
 	steps   int
 }
 
+// dialBudget bounds how long startLockstep waits for each peer to
+// come up — process start order across machines is arbitrary, but a
+// peer that never appears must fail the campaign, not hang it.
+const dialBudget = 60 * time.Second
+
 // startLockstep binds this process's shard endpoint and connects the
-// full mesh (lower index dials higher, retrying while peers come up).
-func startLockstep(peerList string, self int, listen string) (*lockstep, error) {
+// full mesh (lower index dials higher, with exponential backoff while
+// peers come up). wireTimeout arms read/write deadlines and heartbeats
+// on every connection, so a replica that dies mid-campaign surfaces as
+// a transport error instead of a hung digest exchange.
+func startLockstep(peerList string, self int, listen string, wireTimeout time.Duration) (*lockstep, error) {
 	peers := strings.Split(peerList, ",")
 	n := len(peers)
 	if n < 2 {
@@ -43,32 +51,16 @@ func startLockstep(peerList string, self int, listen string) (*lockstep, error) 
 	if err != nil {
 		return nil, err
 	}
+	ep.SetWireTimeout(wireTimeout)
 	for p := self + 1; p < n; p++ {
-		if err := dialRetry(ep, p, strings.TrimSpace(peers[p])); err != nil {
+		if err := ep.DialRetry(p, strings.TrimSpace(peers[p]), dialBudget); err != nil {
 			ep.Close()
-			return nil, err
+			return nil, fmt.Errorf("lockstep: %w", err)
 		}
 	}
 	w := mpx.NewShardWorld(n, shardOf, self, ep)
 	ep.Bind(w)
 	return &lockstep{n: n, self: self, ep: ep, world: w}, nil
-}
-
-// dialRetry keeps dialing a peer that may not have bound its listener
-// yet — process start order across machines is arbitrary.
-func dialRetry(ep *mpx.TCPEndpoint, peer int, addr string) error {
-	const (
-		attempts = 120
-		pause    = 500 * time.Millisecond
-	)
-	var err error
-	for i := 0; i < attempts; i++ {
-		if err = ep.Dial(peer, addr); err == nil {
-			return nil
-		}
-		time.Sleep(pause)
-	}
-	return fmt.Errorf("lockstep: shard %d unreachable at %s: %w", peer, addr, err)
 }
 
 // check exchanges this step's digest with every peer and compares.

@@ -41,6 +41,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"samrdlb/internal/ckpt"
 	"samrdlb/internal/dlb"
@@ -91,6 +92,13 @@ func main() {
 		listenFl  = flag.String("listen", "", "lockstep: listen address for this shard (default: the -peers entry for -shard)")
 		peersFl   = flag.String("peers", "", "lockstep: comma-separated shard addresses in shard order; replicates the run and cross-checks per-step digests")
 		shardFl   = flag.Int("shard", -1, "lockstep: this process's index into -peers")
+		superv    = flag.Bool("supervise", false, "run one worker OS process per processor group under this supervising parent (requires -data); crashed workers restart from their latest durable generation in -ckpt-dir")
+		wireTO    = flag.Duration("wire-timeout", 5*time.Second, "read/write deadline and heartbeat pacing on every wire connection (tcp/worker transports and lockstep; 0 disables)")
+		maxRst    = flag.Int("max-restarts", 3, "supervise: restarts allowed per worker before the run fails")
+		wrkShard  = flag.Int("worker-shard", -1, "internal: run as the supervised worker hosting this processor group")
+		wrkCtrl   = flag.String("worker-control", "", "internal: supervisor control-channel address")
+		wrkDet    = flag.Bool("worker-detached", false, "internal: run the worker without a wire (post-crash restart)")
+		wrkRes    = flag.Bool("worker-resume", false, "internal: resume the worker from its checkpoint store")
 	)
 	flag.Parse()
 
@@ -203,6 +211,7 @@ func main() {
 		LedgerCheck:        *ledCheck,
 		DataCheck:          *datCheck,
 	}
+	opt.WireTimeout = *wireTO
 	switch *transport {
 	case "":
 	case engine.TransportLoopback, engine.TransportTCP:
@@ -216,6 +225,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
 		os.Exit(2)
 	}
+
+	// The hidden worker branch comes before -supervise: a worker is
+	// spawned with the supervisor's full argv (including -supervise)
+	// plus the worker flags, and must never recurse into supervising.
+	if *wrkShard >= 0 {
+		if !*withData {
+			fmt.Fprintln(os.Stderr, "worker: supervised workers require -data")
+			os.Exit(2)
+		}
+		os.Exit(runWorkerMode(sys, driver, opt, *wrkShard, *wrkCtrl, *wrkDet, *wrkRes, *wireTO))
+	}
+	if *superv {
+		switch {
+		case !*withData:
+			fmt.Fprintln(os.Stderr, "supervise: -supervise requires -data (worker shards carry field data)")
+			os.Exit(2)
+		case *peersFl != "":
+			fmt.Fprintln(os.Stderr, "supervise: -supervise and lockstep -peers are mutually exclusive")
+			os.Exit(2)
+		case *datCheck:
+			fmt.Fprintln(os.Stderr, "supervise: -datacheck is data-dependent and forbidden on worker shards")
+			os.Exit(2)
+		}
+		os.Exit(runSupervisor(sys, sched, *wireTO, *maxRst))
+	}
 	var checker *invariant.Checker
 	if *invCheck {
 		// The parallel and SFC schemes deliberately ignore group
@@ -226,7 +260,7 @@ func main() {
 	var lock *lockstep
 	if *peersFl != "" {
 		var err error
-		lock, err = startLockstep(*peersFl, *shardFl, *listenFl)
+		lock, err = startLockstep(*peersFl, *shardFl, *listenFl, *wireTO)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(2)

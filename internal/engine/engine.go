@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"samrdlb/internal/amr"
 	"samrdlb/internal/ckpt"
@@ -90,6 +91,21 @@ type Options struct {
 	// A faulted exchange phase falls back to the in-memory data path
 	// and the failure feeds membership suspicion like a failed probe.
 	WireFault mpx.WireFault
+	// WireTimeout bounds every wire read and write on the tcp/worker
+	// transports and enables heartbeat frames, so a dead or stopped
+	// peer surfaces as a transport fault within the timeout instead of
+	// blocking a phase forever (0 disables deadlines).
+	WireTimeout time.Duration
+	// Worker configures a worker-process shard (Transport=worker):
+	// this process hosts exactly one group's ranks behind an endpoint
+	// already connected to its peer workers, while replicating the
+	// deterministic control plane so every worker computes the same
+	// Result.
+	Worker *WorkerWire
+	// BeforeCheckpointWrite, when non-nil, runs immediately before
+	// each durable generation write (chaos harnesses use it to kill a
+	// worker mid-checkpoint). seq is the monotone write-attempt index.
+	BeforeCheckpointWrite func(step, seq int)
 	// Pool runs patch kernels in parallel (nil = sequential).
 	Pool *solver.Pool
 	// Trace, when non-nil, records structured events.
@@ -401,6 +417,19 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 		if !opt.UseMPX {
 			panic("engine: Transport=tcp requires UseMPX")
 		}
+	case TransportWorker:
+		if !opt.UseMPX {
+			panic("engine: Transport=worker requires UseMPX")
+		}
+		if opt.Worker == nil {
+			panic("engine: Transport=worker requires Options.Worker")
+		}
+		if opt.GradientField != "" || opt.DataCheck {
+			// Worker replicas may hold stale copies of remote-owned
+			// grids; any control decision or oracle that reads field
+			// values would diverge across processes.
+			panic("engine: Transport=worker forbids data-dependent control (GradientField/DataCheck)")
+		}
 	default:
 		panic("engine: unknown Transport " + opt.Transport)
 	}
@@ -411,13 +440,22 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 		if opt.Reflux {
 			panic("engine: Reflux and UseMPX are not supported together")
 		}
-		if opt.Transport == TransportTCP {
-			ss, err := newTCPShards(sys, opt.WireFault)
+		switch {
+		case opt.Transport == TransportTCP:
+			ss, err := newTCPShards(sys, opt.WireFault, opt.WireTimeout)
 			if err != nil {
 				panic("engine: " + err.Error())
 			}
 			r.shards = ss
-		} else {
+		case opt.Transport == TransportWorker:
+			if opt.Worker.Endpoint != nil && !opt.Worker.Detached {
+				r.shards = newWorkerShard(sys, opt.Worker.Shard, opt.Worker.Endpoint)
+			}
+			// Detached workers (a restart after a crash, or a worker
+			// whose peers are all gone) run the plain in-memory data
+			// path — the virtual-time charging is identical, so the
+			// Result still matches the attached replicas.
+		default:
 			r.world = mpx.NewWorld(sys.NumProcs())
 		}
 	}
@@ -675,6 +713,9 @@ func (r *Runner) writeDurable(step int) {
 	seq := r.ckptAttempts
 	r.ckptAttempts++
 	now := r.clock.Now()
+	if r.opt.BeforeCheckpointWrite != nil {
+		r.opt.BeforeCheckpointWrite(step, seq)
+	}
 	meta := r.snapshotMeta(step)
 	// The prune count, like DiskCheckpoints, describes the world in
 	// which this generation landed on disk — including the prune its
@@ -966,21 +1007,42 @@ func (r *Runner) advanceLevel(level int) {
 			// sweep run as separate phases, so a wire failure during the
 			// exchange can fall back to the in-memory fill (an idempotent
 			// full rewrite) without re-running any kernel.
-			if !r.runWirePhase("fill", level, func(rank *mpx.Rank) {
+			if !r.shards.wireActive() || !r.runWirePhase("fill", level, func(rank *mpx.Rank) {
 				r.h.FillGhostsMPX(rank, level)
 			}) {
 				r.h.FillGhostsData(level)
 			}
-			r.shards.mustRun(func(rank *mpx.Rank) {
-				for _, g := range grids {
-					if g.Owner != rank.ID() {
-						continue
-					}
+			if r.shards.worker {
+				// A worker replica steps every grid, not just its own:
+				// its copies of remote-owned grids stay as fresh as the
+				// last wire exchange allows, so after a detach the plain
+				// data path continues from a self-consistent state. The
+				// virtual compute charge below is ledger-driven and
+				// unaffected.
+				stepGrid := func(i int) {
 					for _, k := range r.kernels {
-						k.Step(g.Patch, dt, dx)
+						k.Step(grids[i].Patch, dt, dx)
 					}
 				}
-			})
+				if r.opt.Pool != nil {
+					r.opt.Pool.ForEach(len(grids), stepGrid)
+				} else {
+					for i := range grids {
+						stepGrid(i)
+					}
+				}
+			} else {
+				r.shards.mustRun(func(rank *mpx.Rank) {
+					for _, g := range grids {
+						if g.Owner != rank.ID() {
+							continue
+						}
+						for _, k := range r.kernels {
+							k.Step(g.Patch, dt, dx)
+						}
+					}
+				})
+			}
 		} else if r.world != nil {
 			// Rank-parallel execution: every simulated processor runs
 			// as an mpx rank, exchanging ghosts by message and
@@ -1102,7 +1164,7 @@ func (r *Runner) restrict(level int) {
 	r.chargeMessages(r.h.RestrictPlanCached(level), vclock.LocalComm, vclock.RemoteComm)
 	if r.opt.WithData {
 		if r.shards != nil {
-			if !r.runWirePhase("restrict", level, func(rank *mpx.Rank) {
+			if !r.shards.wireActive() || !r.runWirePhase("restrict", level, func(rank *mpx.Rank) {
 				r.h.RestrictMPX(rank, level)
 			}) {
 				r.h.RestrictData(level)
@@ -1441,6 +1503,7 @@ func (r *Runner) result() *metrics.Result {
 		res.TransportFaults = r.transportFaults
 		res.TransportFallbacks = r.transportFallbacks
 		res.TransportFrames, res.TransportBytes = r.shards.stats()
+		res.TransportTimeouts = r.shards.timeoutCount()
 	}
 	return res
 }

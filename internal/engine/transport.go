@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"samrdlb/internal/machine"
 	"samrdlb/internal/mpx"
@@ -21,7 +23,27 @@ const (
 	// abort protocol. The netsim link model remains the sole timing
 	// authority — the wire carries payloads, never costs.
 	TransportTCP = "tcp"
+	// TransportWorker is one shard of a supervised multi-process run:
+	// this OS process hosts a single group's ranks behind an endpoint
+	// connected to the peer worker processes, while replicating the
+	// deterministic control plane (every worker computes the same
+	// decisions, clock and Result). A wire failure — a crashed or
+	// stopped peer — permanently detaches the worker onto the plain
+	// in-memory data path, whose virtual-time charging is identical.
+	TransportWorker = "worker"
 )
+
+// WorkerWire configures one worker process's shard (Transport=worker).
+type WorkerWire struct {
+	// Shard is the processor-group id this process hosts.
+	Shard int
+	// Endpoint is the worker's already-connected wire endpoint; New
+	// binds the shard world to it. nil runs the worker detached.
+	Endpoint *mpx.TCPEndpoint
+	// Detached starts the worker without a wire — the restart path
+	// after a crash, when the surviving peers have already detached.
+	Detached bool
+}
 
 // shardSet is the engine's view of a sharded wire execution: one
 // shard World plus one TCPEndpoint per processor group, fully
@@ -29,11 +51,16 @@ const (
 type shardSet struct {
 	worlds []*mpx.World
 	eps    []*mpx.TCPEndpoint
+	// worker marks a single worker-process shard: wire failures detach
+	// permanently instead of resetting, and they never feed the
+	// deterministic control plane.
+	worker   bool
+	detached atomic.Bool
 }
 
 // newTCPShards brings up one endpoint per group on an ephemeral
 // localhost port, connects every pair, and builds the shard worlds.
-func newTCPShards(sys *machine.System, wf mpx.WireFault) (*shardSet, error) {
+func newTCPShards(sys *machine.System, wf mpx.WireFault, wireTimeout time.Duration) (*shardSet, error) {
 	ng := sys.NumGroups()
 	shardOf := func(rank int) int { return sys.GroupOf(rank) }
 	s := &shardSet{}
@@ -46,6 +73,7 @@ func newTCPShards(sys *machine.System, wf mpx.WireFault) (*shardSet, error) {
 		if wf != nil {
 			ep.SetFault(wf)
 		}
+		ep.SetWireTimeout(wireTimeout)
 		s.eps = append(s.eps, ep)
 	}
 	for i := 0; i < ng; i++ {
@@ -62,6 +90,37 @@ func newTCPShards(sys *machine.System, wf mpx.WireFault) (*shardSet, error) {
 		s.worlds = append(s.worlds, w)
 	}
 	return s, nil
+}
+
+// newWorkerShard wraps one worker process's already-connected endpoint
+// in a single-world shard set: the local group's ranks live here, the
+// peer groups' ranks live in other OS processes behind the wire.
+func newWorkerShard(sys *machine.System, shard int, ep *mpx.TCPEndpoint) *shardSet {
+	shardOf := func(rank int) int { return sys.GroupOf(rank) }
+	w := mpx.NewShardWorld(sys.NumProcs(), shardOf, shard, ep)
+	ep.Bind(w)
+	return &shardSet{
+		worlds: []*mpx.World{w},
+		eps:    []*mpx.TCPEndpoint{ep},
+		worker: true,
+	}
+}
+
+// wireActive reports whether phases should still attempt the wire.
+func (s *shardSet) wireActive() bool { return !s.worker || !s.detached.Load() }
+
+// detach permanently abandons the wire after a worker-mode failure:
+// broadcast the abort (best-effort — peers blocked mid-phase wake
+// immediately) and close the endpoint (peers that miss the frame get
+// the EOF instead). Both signals converge on the peers detaching too.
+func (s *shardSet) detach(cause string) {
+	if s.detached.Swap(true) {
+		return
+	}
+	for _, ep := range s.eps {
+		ep.Abort(cause)
+		ep.Close()
+	}
 }
 
 // wireFailure summarises a phase that failed purely on the transport:
@@ -149,6 +208,14 @@ func (s *shardSet) stats() (frames, bytes int64) {
 	return
 }
 
+// timeoutCount sums wire deadline expiries across the endpoints.
+func (s *shardSet) timeoutCount() (n int64) {
+	for _, ep := range s.eps {
+		n += ep.Timeouts()
+	}
+	return
+}
+
 func (s *shardSet) close() {
 	for _, ep := range s.eps {
 		ep.Close()
@@ -173,6 +240,16 @@ func (r *Runner) runWirePhase(phase string, level int, body func(rank *mpx.Rank)
 	now := r.clock.Now()
 	r.opt.Trace.Add(trace.Fault, level, now,
 		fmt.Sprintf("wire %s failed (%s); falling back to in-memory exchange", phase, f.cause))
+	if r.shards.worker {
+		// A worker's wire failure means a peer process crashed or hung.
+		// When the failure lands is wall-clock, so it must not perturb
+		// the deterministic control plane — crash evidence feeds the
+		// supervisor's membership tracker, not this replica's balancer.
+		// Detach permanently; every remaining phase runs the in-memory
+		// path with identical virtual-time charging.
+		r.shards.detach(f.cause)
+		return false
+	}
 	seen := make(map[commPair]bool)
 	for _, pr := range f.pairs {
 		ga, gb := r.sys.GroupOf(pr.src), r.sys.GroupOf(pr.dst)

@@ -67,6 +67,14 @@ const (
 	// cancelling any GroupDisconnect window in effect. Instantaneous —
 	// End must be 0.
 	GroupReconnect
+	// WorkerKill instructs a chaos supervisor to SIGKILL the worker
+	// process hosting group Group once that worker has reported
+	// completing level-0 step Start (here a step index, not a virtual
+	// time). The engine itself ignores the kind entirely — the kill is
+	// an OS-level event the supervisor delivers, and the run's Result
+	// must come out byte-identical anyway. Instantaneous — End must
+	// be 0.
+	WorkerKill
 )
 
 func (k Kind) String() string {
@@ -93,6 +101,8 @@ func (k Kind) String() string {
 		return "proc-recover"
 	case GroupReconnect:
 		return "group-reconnect"
+	case WorkerKill:
+		return "worker-kill"
 	default:
 		return "unknown"
 	}
@@ -155,6 +165,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("proc-recover proc=%d at=%g", e.Proc, e.Start)
 	case GroupReconnect:
 		return fmt.Sprintf("group-reconnect group=%d at=%g", e.Group, e.Start)
+	case WorkerKill:
+		return fmt.Sprintf("worker-kill group=%d at=%g", e.Group, e.Start)
 	default:
 		return fmt.Sprintf("unknown(%d)", int(e.Kind))
 	}
@@ -173,7 +185,7 @@ func (e Event) validate() error {
 		if e.End != 0 && e.End < e.Start {
 			return fmt.Errorf("proc-fail: end %g before start %g (use end=0 or end=start for a permanent failure)", e.End, e.Start)
 		}
-	case ProcRecovery, GroupReconnect:
+	case ProcRecovery, GroupReconnect, WorkerKill:
 		if e.End != 0 {
 			return fmt.Errorf("%s: instantaneous event must have end=0, got %g", e.Kind, e.End)
 		}
@@ -191,7 +203,7 @@ func (e Event) validate() error {
 		if e.Proc < 0 {
 			return fmt.Errorf("%s: negative proc %d", e.Kind, e.Proc)
 		}
-	case GroupDisconnect, GroupReconnect:
+	case GroupDisconnect, GroupReconnect, WorkerKill:
 		if e.Group < 0 {
 			return fmt.Errorf("%s: negative group %d", e.Kind, e.Group)
 		}
@@ -290,13 +302,36 @@ func (s *Schedule) Validate(numProcs, numGroups int) error {
 			if e.Proc >= numProcs {
 				return fmt.Errorf("fault event %d (%s): proc %d out of range for %d processors", i, e.Kind, e.Proc, numProcs)
 			}
-		case GroupDisconnect, GroupReconnect:
+		case GroupDisconnect, GroupReconnect, WorkerKill:
 			if e.Group >= numGroups {
 				return fmt.Errorf("fault event %d (%s): group %d out of range for %d groups", i, e.Kind, e.Group, numGroups)
 			}
 		}
 	}
 	return nil
+}
+
+// KillPoint is one scripted worker kill: SIGKILL the worker hosting
+// Group once it has reported completing level-0 step Step.
+type KillPoint struct {
+	Group int
+	Step  int
+}
+
+// WorkerKills returns the scripted worker-kill points in schedule
+// order — the chaos supervisor's kill list. The engine's own fault
+// queries never see WorkerKill events.
+func (s *Schedule) WorkerKills() []KillPoint {
+	if s == nil {
+		return nil
+	}
+	var out []KillPoint
+	for _, e := range s.events {
+		if e.Kind == WorkerKill {
+			out = append(out, KillPoint{Group: e.Group, Step: int(e.Start)})
+		}
+	}
+	return out
 }
 
 // Events returns a copy of the validated events in start order.

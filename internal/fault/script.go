@@ -31,6 +31,8 @@ import (
 //	proc-recover proc=3 at=25
 //	# a disconnected group comes back
 //	group-reconnect group=1 at=14
+//	# chaos: SIGKILL group 1's worker process after it reports step 2
+//	worker-kill group=1 at=2
 //	# checkpoint writes in the window land torn (40% survives)
 //	disk-torn-write start=2 end=6 factor=0.4
 
@@ -93,6 +95,8 @@ func parseLine(line string) (Event, error) {
 		e.Kind = ProcRecovery
 	case "group-reconnect":
 		e.Kind = GroupReconnect
+	case "worker-kill":
+		e.Kind = WorkerKill
 	default:
 		return e, fmt.Errorf("unknown event kind %q", fields[0])
 	}

@@ -109,11 +109,15 @@ type Result struct {
 	// on the wire (injected or real); TransportFallbacks counts
 	// exchange phases that consequently re-ran over the in-memory data
 	// path. TransportFrames and TransportBytes count frames and bytes
-	// actually written to the wire.
+	// actually written to the wire. TransportTimeouts counts wire
+	// reads/writes that exceeded the configured deadline (wall-clock
+	// dependent, so advisory only — never part of the identity
+	// fingerprint).
 	TransportFaults    int
 	TransportFallbacks int
 	TransportFrames    int64
 	TransportBytes     int64
+	TransportTimeouts  int64
 }
 
 // Faulty reports whether the run observed any fault-layer activity.
@@ -185,8 +189,12 @@ func (r *Result) TransportSummary() string {
 	if r.TransportFrames == 0 && r.TransportFaults == 0 {
 		return ""
 	}
-	return fmt.Sprintf("wire transport: %d frames, %d bytes, %d faults (%d phase fallbacks)",
+	s := fmt.Sprintf("wire transport: %d frames, %d bytes, %d faults (%d phase fallbacks)",
 		r.TransportFrames, r.TransportBytes, r.TransportFaults, r.TransportFallbacks)
+	if r.TransportTimeouts > 0 {
+		s += fmt.Sprintf(", %d deadline expiries", r.TransportTimeouts)
+	}
+	return s
 }
 
 // Compute returns the compute share of the breakdown.

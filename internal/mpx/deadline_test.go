@@ -1,0 +1,194 @@
+package mpx
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordSink captures wire aborts for assertions.
+type recordSink struct {
+	mu     sync.Mutex
+	aborts []string
+}
+
+func (r *recordSink) Deliver(src, dst, tag int, data []float64) {}
+
+func (r *recordSink) AbortFromWire(cause string) {
+	r.mu.Lock()
+	r.aborts = append(r.aborts, cause)
+	r.mu.Unlock()
+}
+
+func (r *recordSink) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.aborts)
+}
+
+// pairEndpoints connects two endpoints (0 dials 1) with the given wire
+// timeouts and stub sinks, returning them plus a cleanup.
+func pairEndpoints(t *testing.T, to0, to1 time.Duration) (*TCPEndpoint, *TCPEndpoint, *recordSink, *recordSink) {
+	t.Helper()
+	shardOf := func(rank int) int { return rank % 2 }
+	a, err := ListenTCP(0, "127.0.0.1:0", shardOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP(1, "127.0.0.1:0", shardOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	a.SetWireTimeout(to0)
+	b.SetWireTimeout(to1)
+	sa, sb := &recordSink{}, &recordSink{}
+	a.Bind(sa)
+	b.Bind(sb)
+	if err := a.Dial(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, sa, sb
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestWireTimeoutPoisonsSilentPeer pins the read-deadline path: a peer
+// that sends nothing — no data, no heartbeats (its own timeout is 0,
+// so it runs no heartbeat sender) — must poison the endpoint within
+// the configured timeout, waking anything blocked on a receive.
+func TestWireTimeoutPoisonsSilentPeer(t *testing.T) {
+	const d = 150 * time.Millisecond
+	a, _, sa, _ := pairEndpoints(t, d, 0)
+	waitFor(t, 10*d, func() bool { return a.Err() != nil }, "silent peer never timed out")
+	if !strings.Contains(a.Err().Error(), "wire timeout") {
+		t.Fatalf("expected a wire timeout error, got %v", a.Err())
+	}
+	if a.Timeouts() == 0 {
+		t.Fatal("timeout not counted")
+	}
+	if sa.count() == 0 {
+		t.Fatal("timeout did not abort the bound sink")
+	}
+}
+
+// TestHeartbeatsPreventFalseTimeout pins the liveness protocol: two
+// idle endpoints that both heartbeat must sit well past the timeout
+// without either side poisoning.
+func TestHeartbeatsPreventFalseTimeout(t *testing.T) {
+	const d = 200 * time.Millisecond
+	a, b, sa, sb := pairEndpoints(t, d, d)
+	time.Sleep(5 * d)
+	if err := a.Err(); err != nil {
+		t.Fatalf("endpoint 0 poisoned while idle: %v", err)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("endpoint 1 poisoned while idle: %v", err)
+	}
+	if n := a.Timeouts() + b.Timeouts(); n != 0 {
+		t.Fatalf("%d spurious timeouts on an idle heartbeating pair", n)
+	}
+	if sa.count()+sb.count() != 0 {
+		t.Fatal("spurious aborts on an idle heartbeating pair")
+	}
+	// Heartbeats are liveness-only: nothing may leak into the
+	// deterministic frame statistics.
+	if f, by := a.Stats(); f != 0 || by != 0 {
+		t.Fatalf("heartbeats counted as data frames: %d frames, %d bytes", f, by)
+	}
+}
+
+// TestPeerLossPoisonsWithoutDeadline pins the EOF path: a peer that
+// hangs up while we are live is a crashed peer, and the endpoint must
+// poison immediately — no deadline configured, no hang.
+func TestPeerLossPoisonsWithoutDeadline(t *testing.T) {
+	a, b, sa, _ := pairEndpoints(t, 0, 0)
+	b.Close()
+	waitFor(t, 5*time.Second, func() bool { return a.Err() != nil }, "peer loss never detected")
+	if !strings.Contains(a.Err().Error(), "connection to shard 1 lost") {
+		t.Fatalf("expected a connection-lost error, got %v", a.Err())
+	}
+	if sa.count() == 0 {
+		t.Fatal("peer loss did not abort the bound sink")
+	}
+}
+
+// TestDialRetryWaitsForLateListener pins the backoff dial: the target
+// endpoint comes up only after a delay, and DialRetry must connect
+// anyway — shard startup order must not matter.
+func TestDialRetryWaitsForLateListener(t *testing.T) {
+	shardOf := func(rank int) int { return rank % 2 }
+	a, err := ListenTCP(0, "127.0.0.1:0", shardOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	// Reserve an address, release it, bring the real endpoint up on it
+	// after a delay.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	var bmu sync.Mutex
+	var b *TCPEndpoint
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		ep, err := ListenTCP(1, addr, shardOf)
+		if err != nil {
+			return // port raced away; DialRetry will fail the test below
+		}
+		ep.Bind(&recordSink{})
+		bmu.Lock()
+		b = ep
+		bmu.Unlock()
+	}()
+	t.Cleanup(func() {
+		bmu.Lock()
+		defer bmu.Unlock()
+		if b != nil {
+			b.Close()
+		}
+	})
+	if err := a.DialRetry(1, addr, 10*time.Second); err != nil {
+		t.Fatalf("DialRetry never reached the late listener: %v", err)
+	}
+}
+
+// TestDialRetryGivesUp pins the bounded budget: a peer that never
+// appears must produce an error, not an infinite loop.
+func TestDialRetryGivesUp(t *testing.T) {
+	shardOf := func(rank int) int { return rank % 2 }
+	a, err := ListenTCP(0, "127.0.0.1:0", shardOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	start := time.Now()
+	if err := a.DialRetry(1, addr, 400*time.Millisecond); err == nil {
+		t.Fatal("DialRetry succeeded against a dead address")
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("DialRetry overshot its budget: %v", e)
+	}
+}

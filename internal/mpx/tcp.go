@@ -49,19 +49,30 @@ type TCPEndpoint struct {
 
 	epoch  atomic.Uint32
 	closed atomic.Bool
+	done   chan struct{} // closed once, on Close; stops heartbeat senders
 	wg     sync.WaitGroup
 
 	errMu    sync.Mutex
 	firstErr error // first receive-path failure; poisons the endpoint
 
+	// Wire deadlines (nanoseconds; 0 disables). Reads and writes that
+	// exceed them fail the connection instead of blocking a phase
+	// forever; heartbeat frames every hbIval keep idle-but-alive
+	// connections under the read deadline.
+	readTO, writeTO, hbIval atomic.Int64
+
 	framesSent, bytesSent atomic.Int64
 	framesRecv, bytesRecv atomic.Int64
+	timeouts              atomic.Int64
 }
 
-// wireConn is one peer connection with serialised writes.
+// wireConn is one peer connection with serialised writes. hb marks a
+// running heartbeat sender (guarded by the endpoint's mu).
 type wireConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	peer int
+	hb   bool
+	mu   sync.Mutex
+	c    net.Conn
 }
 
 var errEndpointClosed = errors.New("mpx: endpoint closed")
@@ -85,6 +96,7 @@ func ListenTCP(shard int, addr string, shardOf func(rank int) int) (*TCPEndpoint
 		sendSeq:  make(map[[2]int]uint64),
 		offerSeq: make(map[[2]int]uint64),
 		recvSeq:  make(map[[2]int]uint64),
+		done:     make(chan struct{}),
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -111,6 +123,51 @@ func (e *TCPEndpoint) SetFault(f WireFault) {
 	e.fault = f
 	e.mu.Unlock()
 }
+
+// SetWireTimeout bounds every wire read and write by d and starts a
+// heartbeat sender (at d/3) on each subsequently registered
+// connection, so a dead or stopped peer surfaces as a transport fault
+// within d instead of blocking a phase forever. Call it before
+// dialing or accepting peers; d <= 0 disables deadlines. Heartbeat
+// frames are liveness-only: they are excluded from the frame/byte
+// statistics so wall-clock timing never leaks into reported counters.
+func (e *TCPEndpoint) SetWireTimeout(d time.Duration) {
+	if d <= 0 {
+		e.readTO.Store(0)
+		e.writeTO.Store(0)
+		e.hbIval.Store(0)
+		return
+	}
+	e.readTO.Store(int64(d))
+	e.writeTO.Store(int64(d))
+	hb := d / 3
+	if hb < time.Millisecond {
+		hb = time.Millisecond
+	}
+	e.hbIval.Store(int64(hb))
+	// A peer with a static address may have connected before the
+	// timeout was configured; those connections need senders too.
+	e.mu.Lock()
+	for _, wc := range e.conns {
+		e.startHeartbeatLocked(wc, hb)
+	}
+	e.mu.Unlock()
+}
+
+// startHeartbeatLocked starts one connection's heartbeat sender at
+// most once. Caller holds e.mu.
+func (e *TCPEndpoint) startHeartbeatLocked(wc *wireConn, interval time.Duration) {
+	if wc.hb || e.closed.Load() {
+		return
+	}
+	wc.hb = true
+	e.wg.Add(1)
+	go e.heartbeatLoop(wc, interval)
+}
+
+// Timeouts returns how many wire reads or writes exceeded the
+// configured deadline.
+func (e *TCPEndpoint) Timeouts() int64 { return e.timeouts.Load() }
 
 // Dial connects to a peer shard and completes the handshake. Use the
 // lower-dials-higher convention so each pair has exactly one
@@ -141,6 +198,37 @@ func (e *TCPEndpoint) Dial(peer int, addr string) error {
 	}
 	e.register(peer, c)
 	return nil
+}
+
+// DialRetry dials a peer with exponential backoff until the budget
+// elapses, so shard startup order doesn't matter. An already
+// established connection (the peer dialed us first) counts as
+// success.
+func (e *TCPEndpoint) DialRetry(peer int, addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	pause := 25 * time.Millisecond
+	for {
+		e.mu.Lock()
+		_, ok := e.conns[peer]
+		e.mu.Unlock()
+		if ok {
+			return nil
+		}
+		err := e.Dial(peer, addr)
+		if err == nil {
+			return nil
+		}
+		if e.closed.Load() {
+			return errEndpointClosed
+		}
+		if time.Now().Add(pause).After(deadline) {
+			return fmt.Errorf("mpx: shard %d unreachable at %s after %v: %w", peer, addr, budget, err)
+		}
+		time.Sleep(pause)
+		if pause *= 2; pause > 2*time.Second {
+			pause = 2 * time.Second
+		}
+	}
 }
 
 // acceptLoop admits peer connections: read their handshake, answer
@@ -174,10 +262,13 @@ func (e *TCPEndpoint) register(peer int, c net.Conn) {
 		c.Close()
 		return
 	}
-	wc := &wireConn{c: c}
+	wc := &wireConn{peer: peer, c: c}
 	e.conns[peer] = wc
 	close(e.connCh)
 	e.connCh = make(chan struct{})
+	if hb := time.Duration(e.hbIval.Load()); hb > 0 {
+		e.startHeartbeatLocked(wc, hb)
+	}
 	e.mu.Unlock()
 	e.wg.Add(1)
 	go e.readLoop(wc)
@@ -254,15 +345,56 @@ func (e *TCPEndpoint) Send(src, dst, tag int, data []float64) error {
 	e.sendSeq[key] = seq + 1
 	e.mu.Unlock()
 	frame := encodeDataFrame(e.epoch.Load(), src, dst, tag, seq, data)
-	c.mu.Lock()
-	_, werr := c.c.Write(frame)
-	c.mu.Unlock()
-	if werr != nil {
+	if werr := e.writeFrame(c, frame); werr != nil {
 		return fmt.Errorf("mpx: write to shard %d: %w", peer, werr)
 	}
 	e.framesSent.Add(1)
 	e.bytesSent.Add(int64(len(frame)))
 	return nil
+}
+
+// writeFrame writes one framed message under the connection's write
+// lock, applying the configured write deadline. Deadline expiries are
+// counted before the error is returned.
+func (e *TCPEndpoint) writeFrame(wc *wireConn, frame []byte) error {
+	wt := time.Duration(e.writeTO.Load())
+	wc.mu.Lock()
+	if wt > 0 {
+		wc.c.SetWriteDeadline(time.Now().Add(wt))
+	}
+	_, err := wc.c.Write(frame)
+	wc.mu.Unlock()
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			e.timeouts.Add(1)
+		}
+	}
+	return err
+}
+
+// heartbeatLoop keeps one connection's traffic under the peer's read
+// deadline while the endpoint is otherwise idle. A heartbeat that
+// cannot be written within the write deadline poisons the endpoint:
+// the peer is wedged, and blocked ranks must fail fast.
+func (e *TCPEndpoint) heartbeatLoop(wc *wireConn, interval time.Duration) {
+	defer e.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+		}
+		if err := e.writeFrame(wc, encodeHeartbeatFrame(e.epoch.Load())); err != nil {
+			if e.closed.Load() {
+				return
+			}
+			e.poison(fmt.Errorf("mpx: heartbeat to shard %d: %w", wc.peer, err))
+			return
+		}
+	}
 }
 
 // Abort broadcasts an abort notification to every peer, best-effort.
@@ -275,9 +407,7 @@ func (e *TCPEndpoint) Abort(cause string) {
 	}
 	e.mu.Unlock()
 	for _, c := range conns {
-		c.mu.Lock()
-		c.c.Write(frame)
-		c.mu.Unlock()
+		e.writeFrame(c, frame)
 	}
 }
 
@@ -286,18 +416,39 @@ func (e *TCPEndpoint) Abort(cause string) {
 func (e *TCPEndpoint) readLoop(wc *wireConn) {
 	defer e.wg.Done()
 	for {
+		if rt := time.Duration(e.readTO.Load()); rt > 0 {
+			wc.c.SetReadDeadline(time.Now().Add(rt))
+		}
 		payload, err := readWireFrame(wc.c)
 		if err != nil {
-			if e.closed.Load() || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			if e.closed.Load() {
 				return // orderly teardown
 			}
-			e.poison(fmt.Errorf("mpx: receive on shard %d: %w", e.shard, err))
+			var ne net.Error
+			switch {
+			case errors.As(err, &ne) && ne.Timeout():
+				e.timeouts.Add(1)
+				e.poison(fmt.Errorf("mpx: wire timeout: no frame from shard %d within %v",
+					wc.peer, time.Duration(e.readTO.Load())))
+			case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed):
+				// A peer that hangs up while we are live is a crashed
+				// peer, not an orderly teardown: blocked ranks must be
+				// woken, not left hanging.
+				e.poison(fmt.Errorf("mpx: connection to shard %d lost: %w", wc.peer, err))
+			default:
+				e.poison(fmt.Errorf("mpx: receive on shard %d: %w", e.shard, err))
+			}
 			return
 		}
 		msg, err := decodeFrame(payload)
 		if err != nil {
 			e.poison(err)
 			return
+		}
+		if msg.kind == frameHeartbeat {
+			// Its arrival already refreshed the read deadline; nothing to
+			// deliver, and liveness beacons stay out of the frame counts.
+			continue
 		}
 		e.mu.Lock()
 		sink := e.sink
@@ -392,6 +543,7 @@ func (e *TCPEndpoint) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(e.done)
 	e.ln.Close()
 	e.mu.Lock()
 	for _, c := range e.conns {

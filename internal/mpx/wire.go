@@ -15,10 +15,13 @@ import (
 //
 //	handshake: "SAMRWIR1" | uint32 BE shard id        (12 bytes)
 //	frame:     uint32 BE payload len | uint32 BE CRC32-IEEE | payload
-//	payload:   kind byte (1 data, 2 abort) | uint32 BE epoch | body
+//	payload:   kind byte (1 data, 2 abort, 3 heartbeat) | uint32 BE epoch | body
 //	data body: int32 BE src | int32 BE dst | int32 BE tag |
 //	           uint64 BE seq | count × uint64 BE float64 bits
 //	abort body: UTF-8 cause
+//	heartbeat: no body — its arrival alone refreshes the peer's read
+//	           deadline, so an idle-but-alive shard is distinguishable
+//	           from a dead or stopped one
 //
 // Tags travel as int32 two's complement so the collectives' reserved
 // negative tags survive the wire.
@@ -30,8 +33,9 @@ const (
 	// length field, not a plausible message.
 	maxWireFrame = 1 << 31
 
-	frameData  = 1
-	frameAbort = 2
+	frameData      = 1
+	frameAbort     = 2
+	frameHeartbeat = 3
 
 	// dataHdr is the data body's fixed prefix: kind + epoch + src +
 	// dst + tag + seq.
@@ -82,6 +86,16 @@ func encodeAbortFrame(epoch uint32, cause string) []byte {
 	return buf
 }
 
+// encodeHeartbeatFrame assembles one framed liveness beacon.
+func encodeHeartbeatFrame(epoch uint32) []byte {
+	buf := make([]byte, wireHdr+5)
+	p := buf[wireHdr:]
+	p[0] = frameHeartbeat
+	binary.BigEndian.PutUint32(p[1:5], epoch)
+	sealFrame(buf)
+	return buf
+}
+
 // sealFrame writes the length + CRC prefix over the payload in place.
 func sealFrame(buf []byte) {
 	payload := buf[wireHdr:]
@@ -117,6 +131,9 @@ func decodeFrame(payload []byte) (wireMsg, error) {
 		}
 	case frameAbort:
 		m.cause = string(payload[5:])
+	case frameHeartbeat:
+		// Liveness only: the kind and epoch already parsed above are all
+		// there is.
 	default:
 		return wireMsg{}, fmt.Errorf("mpx: unknown frame kind %d", m.kind)
 	}

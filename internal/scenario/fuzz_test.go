@@ -16,9 +16,11 @@ func FuzzScenario(f *testing.F) {
 	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{9, 0, 0, 0, 0, 0, 0, 0, 3, 7, 11, 42})
 	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
-	// Fail → rejoin → fail-again on one processor (byte 23 hits the
+	// Fail → rejoin → fail-again on one processor (byte 24 hits the
 	// churn-injection case of FromBytes).
-	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 23})
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 24})
+	// Chaos kill point (byte 25 hits the worker-kill injection case).
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 25})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc := FromBytes(data)
 		if out := sc.Execute(); out.Failed() {
@@ -32,7 +34,7 @@ func FuzzScenario(f *testing.F) {
 // survive normalisation (so the entry really stresses re-admission)
 // and the scenario must execute with zero invariant violations.
 func TestFuzzCorpusChurnSeed(t *testing.T) {
-	sc := FromBytes([]byte{5, 0, 0, 0, 0, 0, 0, 0, 23})
+	sc := FromBytes([]byte{5, 0, 0, 0, 0, 0, 0, 0, 24})
 	bounded := 0
 	for _, e := range sc.Faults {
 		if e.Kind == fault.ProcFailure && e.End > e.Start {
@@ -41,6 +43,39 @@ func TestFuzzCorpusChurnSeed(t *testing.T) {
 	}
 	if bounded != 2 {
 		t.Fatalf("churn corpus entry lost its schedule after Normalize: %+v", sc.Faults)
+	}
+	if out := sc.Execute(); out.Failed() {
+		failNow(t, sc, out)
+	}
+}
+
+// TestFuzzCorpusWorkerKillSeed pins the worker-kill corpus entry: the
+// injected kill point must survive normalisation and the key=value
+// round-trip (a supervised replay needs the exact schedule), while the
+// in-process executor must treat it as inert.
+func TestFuzzCorpusWorkerKillSeed(t *testing.T) {
+	sc := FromBytes([]byte{5, 0, 0, 0, 0, 0, 0, 0, 25})
+	kills := 0
+	for _, e := range sc.Faults {
+		if e.Kind == fault.WorkerKill {
+			kills++
+		}
+	}
+	if kills == 0 {
+		t.Fatalf("worker-kill corpus entry lost its kill point after Normalize: %+v", sc.Faults)
+	}
+	rt, err := Parse(sc.Encode())
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	rtKills := 0
+	for _, e := range rt.Faults {
+		if e.Kind == fault.WorkerKill {
+			rtKills++
+		}
+	}
+	if rtKills != kills {
+		t.Fatalf("kill points lost in encode/parse round-trip: %d -> %d", kills, rtKills)
 	}
 	if out := sc.Execute(); out.Failed() {
 		failNow(t, sc, out)

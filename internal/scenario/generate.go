@@ -189,7 +189,7 @@ func FromBytes(data []byte) Scenario {
 	}
 	s := Generate(seed)
 	for i, b := range data {
-		switch b % 12 {
+		switch b % 13 {
 		case 0:
 			s.Steps = 1 + int(b/11)%4
 		case 1:
@@ -229,6 +229,17 @@ func FromBytes(data []byte) Scenario {
 				{Kind: fault.ProcFailure, Start: 0.1 * est, End: 0.35 * est, Proc: p},
 				{Kind: fault.ProcFailure, Start: 0.55 * est, End: 0.8 * est, Proc: p},
 			}
+		case 12:
+			// Chaos kill point: a supervised replay SIGKILLs this group's
+			// worker after the scripted step. Inert for the in-process
+			// executor, but the encode/normalize round-trip and the
+			// schedule validation still get exercised.
+			g := int(b) % max(1, len(s.Groups))
+			s.Faults = append(s.Faults, fault.Event{
+				Kind:  fault.WorkerKill,
+				Start: float64(int(b) % max(1, s.Steps)),
+				Group: g, A: -1, B: -1, Proc: -1,
+			})
 		}
 	}
 	// Keep fuzz executions cheap.

@@ -597,6 +597,14 @@ func (s *Scenario) normalizeFaults() {
 			if e.Proc >= nprocs {
 				continue
 			}
+		case fault.WorkerKill:
+			// Kill points target worker processes by group; the
+			// in-process scenario executor ignores them (the engine does
+			// too), but they must survive the round-trip so a supervised
+			// replay sees the same schedule.
+			if e.Group < 0 || e.Group >= ngroups {
+				continue
+			}
 		default:
 			// Disk-fault kinds can corrupt every durable generation and
 			// turn a healthy resume into a spurious failure; the ckpt
