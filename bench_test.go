@@ -2,6 +2,7 @@ package samrdlb
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"samrdlb/internal/amr"
@@ -756,3 +757,98 @@ func BenchmarkRegridParallel(b *testing.B) { benchRegrid(b, solver.NewPool(0)) }
 
 // BenchmarkRegridSequential is the one-goroutine baseline.
 func BenchmarkRegridSequential(b *testing.B) { benchRegrid(b, nil) }
+
+// planBenchHierarchy tiles the 64^3 domain into n level-0 grids for
+// the structural plan-path benchmarks.
+func planBenchHierarchy(n int) *amr.Hierarchy {
+	h := amr.New(geom.UnitCube(64), 2, 0, 1, false, "q")
+	for i, bx := range (geom.BoxList{h.Domain}).SplitEvenly(n) {
+		h.AddGrid(0, bx, i%8, amr.NoGrid)
+	}
+	return h
+}
+
+// benchGhostPlanSizes are the level populations of the indexed-vs-scan
+// plan pair (the paper-scale regime where the O(n²) scan dominated
+// regrid cost).
+var benchGhostPlanSizes = []int{4096, 16384}
+
+// BenchmarkGhostPlanIndexed measures from-scratch ghost-plan
+// construction through the spatial index at 4096 and 16384 grids.
+func BenchmarkGhostPlanIndexed(b *testing.B) {
+	for _, n := range benchGhostPlanSizes {
+		b.Run(fmt.Sprintf("grids%d", n), func(b *testing.B) {
+			h := planBenchHierarchy(n)
+			h.GhostPlan(0, false) // warm the index and the scratch pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if plan := h.GhostPlan(0, false); len(plan) == 0 {
+					b.Fatal("no messages")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGhostPlanScan is the retained O(n²) baseline of the pair.
+func BenchmarkGhostPlanScan(b *testing.B) {
+	for _, n := range benchGhostPlanSizes {
+		b.Run(fmt.Sprintf("grids%d", n), func(b *testing.B) {
+			h := planBenchHierarchy(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if plan := h.GhostPlanScan(0, false); len(plan) == 0 {
+					b.Fatal("no messages")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegridReplanIndexed measures the replan cost after one
+// localized structural mutation (a migration-style remove/re-add):
+// the dirty tracking re-plans only the destinations near the change
+// and the cached entry patches in place.
+func BenchmarkRegridReplanIndexed(b *testing.B) {
+	for _, n := range benchGhostPlanSizes[:1] {
+		b.Run(fmt.Sprintf("grids%d", n), func(b *testing.B) {
+			h := planBenchHierarchy(n)
+			h.GhostPlanCached(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := h.Grids(0)[i%n]
+				box, owner := g.Box, g.Owner
+				h.RemoveGrid(g.ID)
+				h.AddGrid(0, box, owner, amr.NoGrid)
+				if plan := h.GhostPlanCached(0); len(plan) == 0 {
+					b.Fatal("no messages")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegridReplanScan replans the same mutation with the O(n²)
+// scan — the cost every structural change used to pay under global
+// generation invalidation.
+func BenchmarkRegridReplanScan(b *testing.B) {
+	for _, n := range benchGhostPlanSizes[:1] {
+		b.Run(fmt.Sprintf("grids%d", n), func(b *testing.B) {
+			h := planBenchHierarchy(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := h.Grids(0)[i%n]
+				box, owner := g.Box, g.Owner
+				h.RemoveGrid(g.ID)
+				h.AddGrid(0, box, owner, amr.NoGrid)
+				if plan := h.GhostPlanScan(0, false); len(plan) == 0 {
+					b.Fatal("no messages")
+				}
+			}
+		})
+	}
+}

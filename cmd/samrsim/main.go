@@ -84,6 +84,7 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file after the run")
 		ledCheck  = flag.Bool("ledgercheck", false, "verify the incremental load ledger against a full recomputation after every hierarchy mutation (slow; debug oracle)")
 		datCheck  = flag.Bool("datacheck", false, "verify every planned ghost fill and restriction against the scan-based baseline, bit for bit (slow; debug oracle)")
+		plnCheck  = flag.Bool("plancheck", false, "verify every served exchange plan against the O(n²) scan planners, bit for bit (slow; debug oracle)")
 		invCheck  = flag.Bool("invariants", false, "audit every phase with the paper-invariant oracle; violations exit non-zero")
 		scenSpec  = flag.String("scenario", "", "replay a property-harness scenario string under the invariant oracle (overrides the other run flags)")
 		quorum    = flag.Int("quorum", 0, "per-group minimum of admitted processors before the group degrades to local-only balancing (0 = default 1)")
@@ -103,7 +104,7 @@ func main() {
 	flag.Parse()
 
 	if *scenSpec != "" {
-		os.Exit(runScenario(*scenSpec))
+		os.Exit(runScenario(*scenSpec, *plnCheck))
 	}
 
 	if *cpuProf != "" {
@@ -210,6 +211,7 @@ func main() {
 		CheckpointKeep:     *ckptKeep,
 		LedgerCheck:        *ledCheck,
 		DataCheck:          *datCheck,
+		PlanCheck:          *plnCheck,
 	}
 	opt.WireTimeout = *wireTO
 	switch *transport {
@@ -395,13 +397,16 @@ func main() {
 // format printed by failing soak/fuzz runs) under the invariant
 // oracle. Returns the process exit code: 0 when every invariant held,
 // 1 on violations or execution failure, 2 on a malformed spec.
-func runScenario(spec string) int {
+func runScenario(spec string, planCheck bool) int {
 	sc, err := scenario.Parse(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
 		return 2
 	}
 	sc.Normalize()
+	if planCheck {
+		sc.PlanCheck = true
+	}
 	fmt.Printf("scenario: %s\n", sc.Encode())
 	out := sc.Execute()
 	if out.Result != nil {

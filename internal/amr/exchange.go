@@ -1,6 +1,8 @@
 package amr
 
 import (
+	"sync"
+
 	"samrdlb/internal/geom"
 	"samrdlb/internal/grid"
 )
@@ -38,56 +40,68 @@ type Message struct {
 	Kind     MsgKind
 }
 
-// planCache memoises a level's exchange plans — the cost-model
-// message lists and the concrete data-motion plans — against the
-// hierarchy's structural generation. Ownership changes do not
-// invalidate it: the plans are keyed by grid identity and boxes; the
-// engine (and the mpx execution) resolves owners when it charges or
-// routes the messages. Each part is built lazily on first use.
+// planCache is a level's stable plan-cache entry — the cost-model
+// message lists and the concrete data-motion plans. Ownership changes
+// do not invalidate it: the plans are keyed by grid identity and
+// boxes; the engine (and the mpx execution) resolves owners when it
+// charges or routes the messages. Each part is built lazily on first
+// use and patched in place when structural mutations dirty the level
+// (see plandirty.go); the entry itself is never replaced.
 type planCache struct {
-	gen             uint64
-	msgBuilt        bool
-	ghost, restrict []Message
+	msgBuilt bool
+	// ghost is the flattened ghost plan; ghostOff[i]:ghostOff[i+1] is
+	// the message segment of the i-th destination (level-list order),
+	// whose ID is ghostIDs[i] — the unit of reuse when patching.
+	ghost    []Message
+	ghostOff []int32
+	ghostIDs []GridID
+	restrict []Message
 
 	fillBuilt bool
 	fill      []fillDest
 	// restrictData is the grouped-by-parent restriction plan.
 	restrictBuilt bool
 	restrictData  []restrictDest
+
+	// Dirty state, maintained by the mutation hooks: dirtyAll forces a
+	// full rebuild; otherwise only destinations whose box touches a
+	// dirty region are re-planned.
+	dirtyAll bool
+	dirty    geom.BoxList
 }
 
-// planFor returns the level's cache entry, replacing a stale one.
-// Callers must hold planMu.
-func (h *Hierarchy) planFor(l int) *planCache {
-	c := h.plans[l]
-	if c == nil || c.gen != h.gen {
-		c = &planCache{gen: h.gen}
-		h.plans[l] = c
-	}
-	return c
+// planScratch holds the per-destination working storage of the plan
+// builders — candidate lists and box decompositions — pooled so plan
+// rebuilds stop allocating per grid.
+type planScratch struct {
+	cand           []*Grid
+	ghost, covered geom.BoxList
+	rem, tmp       geom.BoxList
 }
 
-// GhostPlanCached returns GhostPlan(l, false), memoised until the
-// grid structure changes. Callers must not mutate the returned slice.
+var planScratchPool = sync.Pool{New: func() any { return new(planScratch) }}
+
+func getPlanScratch() *planScratch  { return planScratchPool.Get().(*planScratch) }
+func putPlanScratch(s *planScratch) { planScratchPool.Put(s) }
+
+// GhostPlanCached returns GhostPlan(l, false), memoised and patched
+// incrementally as the grid structure changes. Callers must not
+// mutate the returned slice.
 func (h *Hierarchy) GhostPlanCached(l int) []Message {
 	h.planMu.Lock()
 	defer h.planMu.Unlock()
-	c := h.planFor(l)
-	if !c.msgBuilt {
-		c.ghost = h.GhostPlan(l, false)
-		c.restrict = h.RestrictPlan(l, false)
-		c.msgBuilt = true
-	}
-	return c.ghost
+	return h.refreshPlans(l, true, false, false).ghost
 }
 
-// RestrictPlanCached returns RestrictPlan(l, false), memoised until
-// the grid structure changes.
+// RestrictPlanCached returns RestrictPlan(l, false), memoised and
+// patched alongside the ghost plan under the same critical section, so
+// a structural mutation between a GhostPlanCached and a
+// RestrictPlanCached call can never surface a stale or missing
+// restrict plan.
 func (h *Hierarchy) RestrictPlanCached(l int) []Message {
-	h.GhostPlanCached(l) // ensures the cache entry exists and is fresh
 	h.planMu.Lock()
 	defer h.planMu.Unlock()
-	return h.plans[l].restrict
+	return h.refreshPlans(l, true, false, false).restrict
 }
 
 // GhostPlan returns the transfers required to fill the ghost zones of
@@ -96,7 +110,108 @@ func (h *Hierarchy) RestrictPlanCached(l int) []Message {
 // sibling covers. Zero-byte and intra-grid entries are omitted; so
 // are transfers where source and destination grids share a processor
 // only if dropLocal is true.
+//
+// Sources are found through the level's spatial index — O(n·k) instead
+// of the O(n²) all-pairs scan — in level-list order, so the result is
+// byte-identical to GhostPlanScan.
 func (h *Hierarchy) GhostPlan(l int, dropLocal bool) []Message {
+	h.planMu.Lock()
+	defer h.planMu.Unlock()
+	li := h.indexFor(l)
+	dom := h.DomainAt(l)
+	bytesPerCell := int64(len(h.Fields)) * 8
+	scr := getPlanScratch()
+	var out []Message
+	for _, g := range h.Grids(l) {
+		out = h.appendGhostDest(out, g, l, li, dom, bytesPerCell, dropLocal, scr)
+	}
+	putPlanScratch(scr)
+	return out
+}
+
+// appendGhostDest plans one destination grid's ghost messages,
+// mirroring one iteration of the GhostPlanScan outer loop: the index
+// supplies the candidate sources in level-list order, so surviving
+// messages appear exactly as the scan emits them.
+func (h *Hierarchy) appendGhostDest(out []Message, g *Grid, l int, li *levelIndex, dom geom.Box, bytesPerCell int64, dropLocal bool, scr *planScratch) []Message {
+	grown := g.Box.Grow(h.NGhost).Intersect(dom)
+	scr.ghost = geom.SubtractAppend(scr.ghost[:0], grown, g.Box)
+	covered := scr.covered[:0]
+	scr.cand = li.query(grown, scr.cand[:0])
+	for _, s := range scr.cand {
+		if s.ID == g.ID || !s.Box.Intersects(grown) {
+			continue
+		}
+		for _, gb := range scr.ghost {
+			ov := gb.Intersect(s.Box)
+			if ov.Empty() {
+				continue
+			}
+			covered = append(covered, ov)
+			if dropLocal && s.Owner == g.Owner {
+				continue
+			}
+			out = append(out, Message{
+				Src: s.ID, Dst: g.ID,
+				Bytes: ov.NumCells() * bytesPerCell,
+				Kind:  SiblingGhost,
+			})
+		}
+	}
+	scr.covered = covered
+	if l == 0 {
+		return out
+	}
+	// Ghost cells not covered by siblings come from the coarse level
+	// (prolongation); attribute them to the parent grid.
+	var remaining int64
+	for _, gb := range scr.ghost {
+		remaining += subtractListCells(gb, covered, scr)
+	}
+	if remaining > 0 {
+		p := h.Grid(g.Parent)
+		if p != nil && (!dropLocal || p.Owner != g.Owner) {
+			// Coarse data for r^3 fine ghost cells is one coarse
+			// cell; the transfer moves the coarse footprint.
+			r3 := int64(h.RefFactor * h.RefFactor * h.RefFactor)
+			coarseCells := (remaining + r3 - 1) / r3
+			out = append(out, Message{
+				Src: p.ID, Dst: g.ID,
+				Bytes: coarseCells * bytesPerCell,
+				Kind:  ParentProlong,
+			})
+		}
+	}
+	return out
+}
+
+// subtractListCells returns the cell count of a \ union(bs), ping-
+// ponging between two pooled buffers instead of allocating the
+// intermediate decompositions like geom.SubtractList.
+func subtractListCells(a geom.Box, bs geom.BoxList, scr *planScratch) int64 {
+	cur, alt := append(scr.rem[:0], a), scr.tmp
+	for _, b := range bs {
+		if len(cur) == 0 {
+			break
+		}
+		alt = alt[:0]
+		for _, r := range cur {
+			alt = geom.SubtractAppend(alt, r, b)
+		}
+		cur, alt = alt, cur
+	}
+	scr.rem, scr.tmp = cur, alt
+	var n int64
+	for _, r := range cur {
+		n += r.NumCells()
+	}
+	return n
+}
+
+// GhostPlanScan is the original O(grids²) all-pairs ghost planner,
+// kept as the -plancheck baseline and for benchmarks. It produces
+// exactly the same messages as GhostPlan.
+func (h *Hierarchy) GhostPlanScan(l int, dropLocal bool) []Message {
 	var out []Message
 	bytesPerCell := int64(len(h.Fields)) * 8
 	dom := h.DomainAt(l)
@@ -128,8 +243,6 @@ func (h *Hierarchy) GhostPlan(l int, dropLocal bool) []Message {
 		if l == 0 {
 			continue
 		}
-		// Ghost cells not covered by siblings come from the coarse
-		// level (prolongation); attribute them to the parent grid.
 		var remaining int64
 		for _, gb := range ghost {
 			remaining += geom.SubtractList(gb, covered).NumCells()
@@ -137,8 +250,6 @@ func (h *Hierarchy) GhostPlan(l int, dropLocal bool) []Message {
 		if remaining > 0 {
 			p := h.Grid(g.Parent)
 			if p != nil && (!dropLocal || p.Owner != g.Owner) {
-				// Coarse data for r^3 fine ghost cells is one coarse
-				// cell; the transfer moves the coarse footprint.
 				r3 := int64(h.RefFactor * h.RefFactor * h.RefFactor)
 				coarseCells := (remaining + r3 - 1) / r3
 				out = append(out, Message{

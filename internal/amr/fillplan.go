@@ -51,37 +51,68 @@ type restrictDest struct {
 	fines  []*Grid
 }
 
-// fillPlan returns the cached ghost-fill plan for level l, building
-// it if the hierarchy's structure changed. Safe for concurrent
+// fillPlan returns the cached ghost-fill plan for level l, built or
+// patched if the hierarchy's structure changed. Safe for concurrent
 // callers (mpx ranks build lazily through the same mutex).
 func (h *Hierarchy) fillPlan(l int) []fillDest {
 	h.planMu.Lock()
 	defer h.planMu.Unlock()
-	c := h.planFor(l)
-	if !c.fillBuilt {
-		c.fill = h.buildFillPlan(l)
-		c.fillBuilt = true
-	}
-	return c.fill
+	return h.refreshPlans(l, false, true, false).fill
 }
 
 // restrictDataPlan returns the cached restriction plan for level l.
 func (h *Hierarchy) restrictDataPlan(l int) []restrictDest {
 	h.planMu.Lock()
 	defer h.planMu.Unlock()
-	c := h.planFor(l)
-	if !c.restrictBuilt {
-		c.restrictData = h.buildRestrictDataPlan(l)
-		c.restrictBuilt = true
-	}
-	return c.restrictData
+	return h.refreshPlans(l, false, false, true).restrictData
 }
 
-// buildFillPlan mirrors the scan-based fill's traversal exactly, so
-// executing the plan reproduces it bit for bit: per destination grid,
-// prolongation regions from every overlapping coarse grid, sibling
-// overlap copies, then the outside-domain clamp boxes.
-func (h *Hierarchy) buildFillPlan(l int) []fillDest {
+// buildFillDest plans one destination grid's ghost-fill work list,
+// mirroring one iteration of buildFillPlanScan: prolongation regions
+// from every overlapping coarse grid (coarse grid major, ghost box
+// minor), sibling overlap copies, then the outside-domain clamp
+// boxes. Candidates come from the level indexes in level-list order —
+// the coarse query box grown.Coarsen(r) touches exactly the coarse
+// grids whose refined box meets grown — so the op order matches the
+// scan's.
+func (h *Hierarchy) buildFillDest(g *Grid, l int, li, cli *levelIndex, dom geom.Box, scr *planScratch) fillDest {
+	grown := g.Box.Grow(h.NGhost)
+	d := fillDest{g: g}
+	if l > 0 {
+		scr.ghost = geom.SubtractAppend(scr.ghost[:0], grown, g.Box)
+		scr.cand = cli.query(grown.Coarsen(h.RefFactor), scr.cand[:0])
+		for _, c := range scr.cand {
+			refined := c.Box.Refine(h.RefFactor)
+			for _, gb := range scr.ghost {
+				region := gb.Intersect(refined)
+				if region.Empty() {
+					continue
+				}
+				d.ops = append(d.ops, fillOp{src: c, region: region, prolong: true})
+			}
+		}
+	}
+	scr.cand = li.query(grown, scr.cand[:0])
+	for _, s := range scr.cand {
+		if s.ID == g.ID {
+			continue
+		}
+		ov := grown.Intersect(s.Box)
+		if ov.Empty() {
+			continue
+		}
+		d.ops = append(d.ops, fillOp{src: s, region: ov})
+	}
+	d.clamps = geom.Subtract(grown, dom)
+	return d
+}
+
+// buildFillPlanScan is the original O(grids²) fill planner, kept as
+// the -plancheck baseline: per destination grid, prolongation regions
+// from every overlapping coarse grid, sibling overlap copies, then
+// the outside-domain clamp boxes — the exact traversal of the
+// scan-based fill, so executing the plan reproduces it bit for bit.
+func (h *Hierarchy) buildFillPlanScan(l int) []fillDest {
 	dom := h.DomainAt(l)
 	grids := h.Grids(l)
 	plan := make([]fillDest, 0, len(grids))

@@ -42,6 +42,13 @@ type Grid struct {
 	Parent GridID
 	// Patch holds the field data (nil in plan-only hierarchies).
 	Patch *grid.Patch
+
+	// pos is the grid's current position in its level list, maintained
+	// by the hierarchy. The spatial index sorts query results by it so
+	// plan builders visit candidates in level-list order — grid IDs
+	// cannot serve here because SortLevel reorders levels by box
+	// position, not ID.
+	pos int
 }
 
 // NumCells returns the grid's interior cell count.
@@ -92,14 +99,18 @@ type Hierarchy struct {
 	byID   map[GridID]*Grid
 	nextID GridID
 
-	// gen counts structural mutations (grids added/removed); exchange
-	// plans are cached against it since grid ownership changes do not
-	// affect box overlap structure.
-	gen   uint64
+	// plans holds the per-level cache entries, kept current by dirty
+	// tracking: structural mutations mark the affected levels/regions
+	// (see plandirty.go) and serving patches the entries in place.
+	// Grid ownership changes do not affect box overlap structure and
+	// mark nothing.
 	plans map[int]*planCache
-	// planMu guards the plan cache: mpx ranks build plans lazily from
-	// concurrent goroutines. Execution reads the immutable plan after
-	// the lock is released.
+	// index holds the per-level spatial indexes the plan builders
+	// query, built lazily and maintained by the mutation hooks.
+	index []*levelIndex
+	// planMu guards the plan cache, the spatial indexes and the dirty
+	// state: mpx ranks build plans lazily from concurrent goroutines.
+	// Execution reads the immutable plan after the lock is released.
 	planMu sync.Mutex
 
 	// pool, when set, executes the cached fill/restrict/regrid data
@@ -110,6 +121,10 @@ type Hierarchy struct {
 	// scan-based baseline and panics on bitwise divergence (the
 	// -datacheck oracle).
 	dataCheck bool
+	// planCheck re-derives every served plan with the O(n²) scan
+	// planners and panics on bitwise divergence (the -plancheck
+	// oracle).
+	planCheck bool
 
 	listener Listener
 }
@@ -122,6 +137,11 @@ func (h *Hierarchy) SetPool(p *solver.Pool) { h.pool = p }
 // Every FillGhostsData and RestrictData then does the data motion
 // twice and compares — for tests and -datacheck runs only.
 func (h *Hierarchy) SetDataCheck(on bool) { h.dataCheck = on }
+
+// SetPlanCheck toggles the indexed-vs-scan plan oracle. Every served
+// plan is then re-derived with the retained O(n²) scan planners and
+// compared bitwise — for tests and -plancheck runs only.
+func (h *Hierarchy) SetPlanCheck(on bool) { h.planCheck = on }
 
 // SetListener subscribes l to the hierarchy's mutation events (nil
 // unsubscribes). Only one listener is supported; the engine installs
@@ -150,6 +170,7 @@ func (h *Hierarchy) setParent(g *Grid, parent GridID) {
 	}
 	old := g.Parent
 	g.Parent = parent
+	h.noteParentChanged(g)
 	if h.listener != nil {
 		h.listener.ParentChanged(h, g, old)
 	}
@@ -245,12 +266,13 @@ func (h *Hierarchy) AddGrid(level int, box geom.Box, owner int, parent GridID) *
 	}
 	g := &Grid{ID: h.nextID, Level: level, Box: box, Owner: owner, Parent: parent}
 	h.nextID++
-	h.gen++
 	if h.WithData {
 		g.Patch = grid.NewPatch(box, level, h.NGhost, h.Fields...)
 	}
+	g.pos = len(h.levels[level])
 	h.levels[level] = append(h.levels[level], g)
 	h.byID[g.ID] = g
+	h.noteAdded(g)
 	if h.listener != nil {
 		h.listener.GridAdded(h, g)
 	}
@@ -271,12 +293,16 @@ func (h *Hierarchy) RemoveGrid(id GridID) {
 	lv := h.levels[g.Level]
 	for i, x := range lv {
 		if x.ID == id {
-			h.levels[g.Level] = append(lv[:i], lv[i+1:]...)
+			lv = append(lv[:i], lv[i+1:]...)
+			h.levels[g.Level] = lv
+			for j := i; j < len(lv); j++ {
+				lv[j].pos = j
+			}
 			break
 		}
 	}
 	delete(h.byID, id)
-	h.gen++
+	h.noteRemoved(g)
 	if h.listener != nil {
 		h.listener.GridRemoved(h, g)
 	}
@@ -285,6 +311,9 @@ func (h *Hierarchy) RemoveGrid(id GridID) {
 // ClearLevelsFrom removes every grid at level l and deeper (used by
 // regridding, which rebuilds fine levels from scratch).
 func (h *Hierarchy) ClearLevelsFrom(l int) {
+	// One wholesale invalidation up front instead of per-grid dirty
+	// marking: every plan and index at l..MaxLevel goes away anyway.
+	h.noteCleared(l)
 	// Deepest level first, so every grid's removal event fires while
 	// its parent chain is still intact (the Listener contract). Each
 	// grid leaves the level list and ID map before its event fires, so
@@ -301,7 +330,6 @@ func (h *Hierarchy) ClearLevelsFrom(l int) {
 		}
 		h.levels[lv] = nil
 	}
-	h.gen++
 }
 
 // TotalCells returns the cell count of level l.
@@ -427,7 +455,10 @@ func (h *Hierarchy) SplitGrid(g *Grid, d, at int) (*Grid, *Grid) {
 }
 
 // SortLevel orders the grids of level l by box position, giving runs
-// a deterministic grid order regardless of creation history.
+// a deterministic grid order regardless of creation history. The
+// level list is every plan's iteration order, so the level's plans
+// (and the next-finer level's, whose prolong sources iterate this
+// list) are invalidated wholesale.
 func (h *Hierarchy) SortLevel(l int) {
 	gs := h.levels[l]
 	sort.Slice(gs, func(i, j int) bool {
@@ -443,6 +474,10 @@ func (h *Hierarchy) SortLevel(l int) {
 		}
 		return gs[i].ID < gs[j].ID
 	})
+	for i, g := range gs {
+		g.pos = i
+	}
+	h.noteSorted(l)
 }
 
 // FlagFieldFor returns a flag field spanning level l's grids (their

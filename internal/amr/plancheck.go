@@ -1,0 +1,118 @@
+package amr
+
+import "fmt"
+
+// The -plancheck oracle, in the -ledgercheck/-datacheck idiom: every
+// time a cached plan is served, re-derive the same plan with the
+// retained O(n²) scan planners from the current structure and demand
+// bitwise equality. This catches both indexed-query bugs (a bucket
+// query missing a neighbor the scan would have found) and incremental-
+// maintenance bugs (a mutation whose dirty marking failed to re-plan
+// an affected destination — the stale entry survives patching and
+// diverges from the fresh scan). Structure-only and deterministic, so
+// unlike -datacheck it is safe on multi-process worker shards.
+
+// verifyPlans checks every built plan kind of level l against its scan
+// baseline, panicking with entry-level detail on divergence. Callers
+// hold planMu.
+func (h *Hierarchy) verifyPlans(l int, c *planCache) {
+	if c.msgBuilt {
+		comparePlanMessages("GhostPlan", l, h.GhostPlanScan(l, false), c.ghost)
+		comparePlanMessages("RestrictPlan", l, h.RestrictPlan(l, false), c.restrict)
+	}
+	if c.fillBuilt {
+		compareFillPlans(l, h.buildFillPlanScan(l), c.fill)
+	}
+	if c.restrictBuilt {
+		compareRestrictPlans(l, h.buildRestrictDataPlan(l), c.restrictData)
+	}
+}
+
+// comparePlanMessages panics when the cached message plan diverged
+// from the scan baseline (want = scan, got = cached).
+func comparePlanMessages(op string, l int, want, got []Message) {
+	if len(want) != len(got) {
+		panic(fmt.Sprintf(
+			"amr: %s plancheck diverged: level %d: cached %d messages, scan %d",
+			op, l, len(got), len(want)))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			panic(fmt.Sprintf(
+				"amr: %s plancheck diverged: level %d message %d: cached %+v, scan %+v",
+				op, l, i, got[i], want[i]))
+		}
+	}
+}
+
+// compareFillPlans panics when the cached fill plan diverged from the
+// scan baseline.
+func compareFillPlans(l int, want, got []fillDest) {
+	if len(want) != len(got) {
+		panic(fmt.Sprintf(
+			"amr: FillPlan plancheck diverged: level %d: cached %d destinations, scan %d",
+			l, len(got), len(want)))
+	}
+	for i := range want {
+		w, g := &want[i], &got[i]
+		if w.g != g.g {
+			panic(fmt.Sprintf(
+				"amr: FillPlan plancheck diverged: level %d destination %d: cached grid %d, scan grid %d",
+				l, i, g.g.ID, w.g.ID))
+		}
+		if len(w.ops) != len(g.ops) {
+			panic(fmt.Sprintf(
+				"amr: FillPlan plancheck diverged: level %d grid %d: cached %d ops, scan %d",
+				l, w.g.ID, len(g.ops), len(w.ops)))
+		}
+		for j := range w.ops {
+			if w.ops[j] != g.ops[j] {
+				panic(fmt.Sprintf(
+					"amr: FillPlan plancheck diverged: level %d grid %d op %d: cached %+v, scan %+v",
+					l, w.g.ID, j, g.ops[j], w.ops[j]))
+			}
+		}
+		if len(w.clamps) != len(g.clamps) {
+			panic(fmt.Sprintf(
+				"amr: FillPlan plancheck diverged: level %d grid %d: cached %d clamps, scan %d",
+				l, w.g.ID, len(g.clamps), len(w.clamps)))
+		}
+		for j := range w.clamps {
+			if w.clamps[j] != g.clamps[j] {
+				panic(fmt.Sprintf(
+					"amr: FillPlan plancheck diverged: level %d grid %d clamp %d: cached %v, scan %v",
+					l, w.g.ID, j, g.clamps[j], w.clamps[j]))
+			}
+		}
+	}
+}
+
+// compareRestrictPlans panics when the cached grouped restriction plan
+// diverged from a fresh build.
+func compareRestrictPlans(l int, want, got []restrictDest) {
+	if len(want) != len(got) {
+		panic(fmt.Sprintf(
+			"amr: RestrictDataPlan plancheck diverged: level %d: cached %d groups, scan %d",
+			l, len(got), len(want)))
+	}
+	for i := range want {
+		w, g := &want[i], &got[i]
+		if w.parent != g.parent {
+			panic(fmt.Sprintf(
+				"amr: RestrictDataPlan plancheck diverged: level %d group %d: cached parent %d, scan parent %d",
+				l, i, g.parent.ID, w.parent.ID))
+		}
+		if len(w.fines) != len(g.fines) {
+			panic(fmt.Sprintf(
+				"amr: RestrictDataPlan plancheck diverged: level %d parent %d: cached %d fines, scan %d",
+				l, w.parent.ID, len(g.fines), len(w.fines)))
+		}
+		for j := range w.fines {
+			if w.fines[j] != g.fines[j] {
+				panic(fmt.Sprintf(
+					"amr: RestrictDataPlan plancheck diverged: level %d parent %d fine %d: cached grid %d, scan grid %d",
+					l, w.parent.ID, j, g.fines[j].ID, w.fines[j].ID))
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package amr
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"samrdlb/internal/geom"
+)
+
+// randomHierarchy builds a 2–3 level hierarchy with a random level-0
+// tiling and random refined children, for plan-equivalence trials.
+func randomHierarchy(rng *rand.Rand) *Hierarchy {
+	dom := geom.UnitCube(32)
+	h := New(dom, 2, 2, 1, false, "q")
+	for _, b := range (geom.BoxList{dom}).SplitEvenly(4 + rng.Intn(16)) {
+		h.AddGrid(0, b, rng.Intn(4), NoGrid)
+	}
+	for l := 0; l < h.MaxLevel; l++ {
+		for _, p := range h.Grids(l) {
+			if rng.Intn(10) < 6 {
+				sub := randomBoxIn(rng, p.Box)
+				h.AddGrid(l+1, sub.Refine(h.RefFactor), rng.Intn(4), p.ID)
+			}
+		}
+	}
+	return h
+}
+
+// servePlans pulls every cached plan kind at every level, so the
+// -plancheck oracle (when armed) verifies each against its scan
+// baseline.
+func servePlans(h *Hierarchy) {
+	for l := 0; l <= h.MaxLevel; l++ {
+		h.GhostPlanCached(l)
+		h.RestrictPlanCached(l)
+		h.fillPlan(l)
+		h.restrictDataPlan(l)
+	}
+}
+
+func msgsEqual(a, b []Message) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// childless returns the grids that can be removed outright.
+func childless(h *Hierarchy) []*Grid {
+	var out []*Grid
+	for l := 0; l <= h.MaxLevel; l++ {
+		for _, g := range h.Grids(l) {
+			if len(h.Children(g)) == 0 {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// mutate applies one random structural or ownership mutation.
+func mutate(h *Hierarchy, rng *rand.Rand) {
+	switch rng.Intn(7) {
+	case 0: // add a level-0 grid
+		h.AddGrid(0, randomBoxIn(rng, h.Domain), rng.Intn(4), NoGrid)
+	case 1: // add a child under a random parent
+		l := rng.Intn(h.MaxLevel)
+		if gs := h.Grids(l); len(gs) > 0 {
+			p := gs[rng.Intn(len(gs))]
+			h.AddGrid(l+1, randomBoxIn(rng, p.Box).Refine(h.RefFactor), rng.Intn(4), p.ID)
+		}
+	case 2: // remove a childless grid
+		if cs := childless(h); len(cs) > 0 {
+			h.RemoveGrid(cs[rng.Intn(len(cs))].ID)
+		}
+	case 3: // split a grid (migration-style mutation)
+		l := rng.Intn(h.MaxLevel + 1)
+		if gs := h.Grids(l); len(gs) > 0 {
+			g := gs[rng.Intn(len(gs))]
+			d := rng.Intn(geom.Dims)
+			if g.Box.Shape()[d] >= 2 {
+				h.SplitGrid(g, d, g.Box.Lo[d]+1+rng.Intn(g.Box.Shape()[d]-1))
+			}
+		}
+	case 4: // ownership churn (must not invalidate anything)
+		l := rng.Intn(h.MaxLevel + 1)
+		if gs := h.Grids(l); len(gs) > 0 {
+			h.SetOwner(gs[rng.Intn(len(gs))], rng.Intn(4))
+		}
+	case 5: // deterministic reorder
+		h.SortLevel(rng.Intn(h.MaxLevel + 1))
+	case 6: // regrid-style wholesale clear and rebuild
+		if gs := h.Grids(h.MaxLevel - 1); len(gs) > 0 {
+			h.ClearLevelsFrom(h.MaxLevel)
+			for _, p := range gs {
+				if rng.Intn(2) == 0 {
+					h.AddGrid(h.MaxLevel, randomBoxIn(rng, p.Box).Refine(h.RefFactor),
+						rng.Intn(4), p.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanPatchingMatchesScan is the amr-level equivalence property:
+// over randomized hierarchies and mutation histories, incrementally
+// patched cached plans and indexed scratch plans must stay bitwise
+// equal to the O(n²) scan baselines — the -plancheck oracle panics on
+// the first divergence, and the scratch builders are compared
+// directly for both dropLocal variants.
+func TestPlanPatchingMatchesScan(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		h := randomHierarchy(rng)
+		h.SetPlanCheck(true)
+		servePlans(h) // from-scratch builds verified
+		for round := 0; round < 4; round++ {
+			for i, n := 0, 1+rng.Intn(6); i < n; i++ {
+				mutate(h, rng)
+			}
+			servePlans(h) // patched rebuilds verified
+			for l := 0; l <= h.MaxLevel; l++ {
+				for _, dl := range []bool{false, true} {
+					if got, want := h.GhostPlan(l, dl), h.GhostPlanScan(l, dl); !msgsEqual(got, want) {
+						t.Fatalf("trial %d round %d: GhostPlan(%d, %v) diverged from scan:\n got %v\nwant %v",
+							trial, round, l, dl, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRestrictPlanCachedMutationBetweenPhases is the regression test
+// for the plan-cache race: RestrictPlanCached used to run as two
+// critical sections — a GhostPlanCached call, then a re-lock to read
+// the restrict plan — so a structural mutation plus a concurrent
+// plan build landing in the window left it returning a nil (or
+// stale) restrict plan. Both plans are now built under one critical
+// section on a stable cache entry; replaying the old interleaving
+// must yield a fresh, coherent restrict plan.
+func TestRestrictPlanCachedMutationBetweenPhases(t *testing.T) {
+	h := New(geom.UnitCube(8), 2, 1, 1, false, "q")
+	p := h.AddGrid(0, geom.UnitCube(8), 0, NoGrid)
+	h.AddGrid(1, geom.BoxFromShape(geom.Index{0, 0, 0}, geom.Index{8, 8, 8}), 1, p.ID)
+
+	_ = h.GhostPlanCached(1) // phase one of the old two-phase protocol
+	// A mutation lands in the window between the phases...
+	h.AddGrid(1, geom.BoxFromShape(geom.Index{8, 8, 8}, geom.Index{8, 8, 8}), 0, p.ID)
+	// ...and so does another phase's plan build (the old code replaced
+	// the cache entry here, wiping the restrict plan).
+	_ = h.fillPlan(1)
+
+	// The old phase-two read: the raw cache entry must already hold a
+	// restrict plan coherent with the post-mutation structure.
+	h.planMu.Lock()
+	got := h.plans[1].restrict
+	h.planMu.Unlock()
+	want := h.RestrictPlan(1, false)
+	if got == nil {
+		t.Fatal("cache entry lost its restrict plan across the mutation window")
+	}
+	if !msgsEqual(got, want) {
+		t.Fatalf("stale restrict plan survived the mutation: got %v, want %v", got, want)
+	}
+	if !msgsEqual(h.RestrictPlanCached(1), want) {
+		t.Fatal("RestrictPlanCached diverged from a fresh RestrictPlan")
+	}
+}
+
+// TestCachedPlansConcurrentReaders hammers the cached plan getters
+// from concurrent goroutines (the mpx-rank access pattern) — run
+// under -race this pins the single-critical-section design.
+func TestCachedPlansConcurrentReaders(t *testing.T) {
+	h := randomHierarchy(rand.New(rand.NewSource(99)))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for l := 0; l <= h.MaxLevel; l++ {
+					g := h.GhostPlanCached(l)
+					r := h.RestrictPlanCached(l)
+					_, _ = g, r
+					_ = h.fillPlan(l)
+					_ = h.restrictDataPlan(l)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPlanCheckOracleDetectsCorruption pins that the -plancheck
+// oracle actually fires: corrupt one cached message and the next
+// serve must panic.
+func TestPlanCheckOracleDetectsCorruption(t *testing.T) {
+	h, _, _ := twoSlabHierarchy(t, false)
+	if plan := h.GhostPlanCached(0); len(plan) == 0 {
+		t.Fatal("expected a non-empty ghost plan")
+	}
+	h.planMu.Lock()
+	h.plans[0].ghost[0].Bytes++
+	h.planMu.Unlock()
+	h.SetPlanCheck(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("plancheck served a corrupted plan without panicking")
+		}
+	}()
+	h.GhostPlanCached(0)
+}
+
+// TestGhostPlanScratchAllocs pins the pooled-scratch property: a
+// warmed indexed GhostPlan allocates only for the result slice, not
+// per grid (the scan path allocated several box lists per grid).
+func TestGhostPlanScratchAllocs(t *testing.T) {
+	dom := geom.UnitCube(64)
+	h := New(dom, 2, 0, 1, false, "q")
+	for _, b := range (geom.BoxList{dom}).SplitEvenly(512) {
+		h.AddGrid(0, b, 0, NoGrid)
+	}
+	h.GhostPlan(0, false) // warm the index and the scratch pool
+	allocs := testing.AllocsPerRun(10, func() { h.GhostPlan(0, false) })
+	if allocs > 64 {
+		t.Fatalf("GhostPlan over 512 grids allocated %.0f times; want ≤ 64 (result growth only)", allocs)
+	}
+}

@@ -1,0 +1,239 @@
+package amr
+
+import (
+	"math"
+	"slices"
+	"sync/atomic"
+
+	"samrdlb/internal/geom"
+	"samrdlb/internal/solver"
+)
+
+// Spatial neighbor index. The plan builders used to answer "which
+// grids overlap this grown box?" by scanning every grid of the level —
+// O(n²) per plan build. Each level instead keeps a uniform bucket grid
+// over its index space: a grid is registered in every bucket its box
+// touches, so a query gathers the buckets the query box touches and
+// unions their occupants. Bucket extents track the typical grid size
+// (~cbrt(n) buckets per dimension), so a query returns O(k) candidates
+// independent of the level's population.
+//
+// The index is built lazily on first plan query — in parallel over the
+// attached solver.Pool when the level is large — and maintained
+// incrementally from the hierarchy's mutation hooks (noteAdded /
+// noteRemoved). Bucket-internal order is unspecified (the parallel
+// build races grids into their slots), so query sorts candidates by
+// their level-list position before returning: plan builders iterate
+// candidates in exactly the order the O(n²) scans iterate the level,
+// which is what keeps indexed plans byte-identical to the scan
+// baselines.
+
+const (
+	// indexRebuildFactor triggers a full (re)build when the level's
+	// population drifts this far from the size the buckets were chosen
+	// for; the slop term keeps tiny levels from rebuilding constantly.
+	indexRebuildFactor = 4
+	indexRebuildSlop   = 8
+	// indexParallelMin is the level size below which the index build
+	// stays serial (goroutine fan-out costs more than the loop).
+	indexParallelMin = 2048
+	// maxIndexBuckets caps the bucket-array footprint per level.
+	maxIndexBuckets = 1 << 21
+)
+
+// levelIndex is one level's uniform bucket grid.
+type levelIndex struct {
+	org     geom.Index // low corner of the bucketed region (level domain Lo)
+	cell    geom.Index // bucket extent in level cells, per dimension
+	dims    geom.Index // bucket count per dimension
+	buckets [][]*Grid
+	// count is the live population; sizedFor is the population the
+	// bucket resolution was chosen for at the last full build.
+	count    int
+	sizedFor int
+}
+
+// newLevelIndex sizes the bucket grid for a level expected to hold n
+// grids: ~cbrt(n) buckets per dimension, so buckets and grids have
+// comparable extents and each grid touches O(1) buckets.
+func newLevelIndex(dom geom.Box, n int) *levelIndex {
+	li := &levelIndex{org: dom.Lo}
+	per := int(math.Cbrt(float64(max(n, 1)))) + 1
+	shape := dom.Shape()
+	for d := 0; d < geom.Dims; d++ {
+		e := shape[d]
+		dims := min(per, e)
+		li.cell[d] = (e + dims - 1) / dims
+		li.dims[d] = (e + li.cell[d] - 1) / li.cell[d]
+	}
+	for li.dims[0]*li.dims[1]*li.dims[2] > maxIndexBuckets {
+		for d := 0; d < geom.Dims; d++ {
+			li.cell[d] *= 2
+			li.dims[d] = (shape[d] + li.cell[d] - 1) / li.cell[d]
+		}
+	}
+	li.buckets = make([][]*Grid, li.dims[0]*li.dims[1]*li.dims[2])
+	li.sizedFor = n
+	return li
+}
+
+// bucketRange returns the clamped bucket-coordinate range the box
+// touches. Boxes extending past the bucketed region (grown query
+// boxes) clamp to the border buckets, which only widens the candidate
+// set.
+func (li *levelIndex) bucketRange(b geom.Box) (lo, hi geom.Index) {
+	bl := b.Lo.Sub(li.org)
+	bh := b.Hi.Sub(li.org)
+	for d := 0; d < geom.Dims; d++ {
+		lo[d] = clampInt(floorDivInt(bl[d], li.cell[d]), 0, li.dims[d]-1)
+		hi[d] = clampInt(floorDivInt(bh[d], li.cell[d]), 0, li.dims[d]-1)
+	}
+	return lo, hi
+}
+
+// forBuckets invokes fn with the flat bucket id of every bucket the
+// box touches.
+func (li *levelIndex) forBuckets(b geom.Box, fn func(int)) {
+	lo, hi := li.bucketRange(b)
+	for z := lo[2]; z <= hi[2]; z++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			base := (z*li.dims[1] + y) * li.dims[0]
+			for x := lo[0]; x <= hi[0]; x++ {
+				fn(base + x)
+			}
+		}
+	}
+}
+
+// insert registers a grid in every bucket its box touches.
+func (li *levelIndex) insert(g *Grid) {
+	li.forBuckets(g.Box, func(b int) { li.buckets[b] = append(li.buckets[b], g) })
+	li.count++
+}
+
+// remove unregisters a grid (swap-delete; bucket order is
+// unspecified).
+func (li *levelIndex) remove(g *Grid) {
+	li.forBuckets(g.Box, func(b int) {
+		bk := li.buckets[b]
+		for i, x := range bk {
+			if x == g {
+				bk[i] = bk[len(bk)-1]
+				li.buckets[b] = bk[:len(bk)-1]
+				return
+			}
+		}
+	})
+	li.count--
+}
+
+// query appends every indexed grid whose buckets touch b to out and
+// returns it, sorted by level-list position and deduplicated — the
+// candidate superset for an overlap scan, in exactly the order the
+// full-level scan would visit the survivors.
+func (li *levelIndex) query(b geom.Box, out []*Grid) []*Grid {
+	lo, hi := li.bucketRange(b)
+	for z := lo[2]; z <= hi[2]; z++ {
+		for y := lo[1]; y <= hi[1]; y++ {
+			base := (z*li.dims[1] + y) * li.dims[0]
+			for x := lo[0]; x <= hi[0]; x++ {
+				out = append(out, li.buckets[base+x]...)
+			}
+		}
+	}
+	slices.SortFunc(out, func(a, b *Grid) int { return a.pos - b.pos })
+	if lo != hi {
+		out = dedupeSorted(out)
+	}
+	return out
+}
+
+// dedupeSorted compacts adjacent duplicates in a position-sorted
+// candidate list (a grid straddling several buckets appears once per
+// bucket).
+func dedupeSorted(gs []*Grid) []*Grid {
+	w := 0
+	for i, g := range gs {
+		if i > 0 && g == gs[w-1] {
+			continue
+		}
+		gs[w] = g
+		w++
+	}
+	return gs[:w]
+}
+
+// build populates the bucket grid from scratch. Large levels build in
+// parallel over the pool: an atomic per-bucket count pass, a prefix
+// sum, then an atomic-cursor fill into one shared arena (sub-sliced
+// with hard caps so later appends copy out instead of clobbering a
+// neighbor's slots).
+func (li *levelIndex) build(grids []*Grid, pool *solver.Pool) {
+	n := len(grids)
+	li.count = n
+	if n == 0 {
+		return
+	}
+	nb := len(li.buckets)
+	if pool != nil && pool.Workers() > 1 && n >= indexParallelMin {
+		counts := make([]atomic.Int32, nb)
+		pool.ForEach(n, func(i int) {
+			li.forBuckets(grids[i].Box, func(b int) { counts[b].Add(1) })
+		})
+		offs := make([]int32, nb+1)
+		for b := 0; b < nb; b++ {
+			offs[b+1] = offs[b] + counts[b].Load()
+			counts[b].Store(0)
+		}
+		arena := make([]*Grid, offs[nb])
+		pool.ForEach(n, func(i int) {
+			li.forBuckets(grids[i].Box, func(b int) {
+				arena[offs[b]+counts[b].Add(1)-1] = grids[i]
+			})
+		})
+		for b := 0; b < nb; b++ {
+			lo, hi := offs[b], offs[b+1]
+			li.buckets[b] = arena[lo:hi:hi]
+		}
+		return
+	}
+	for _, g := range grids {
+		li.forBuckets(g.Box, func(b int) { li.buckets[b] = append(li.buckets[b], g) })
+	}
+}
+
+// indexFor returns level l's spatial index, building it on first use
+// and rebuilding when the population has outgrown (or far undershot)
+// the bucket resolution. Callers must hold planMu.
+func (h *Hierarchy) indexFor(l int) *levelIndex {
+	if h.index == nil {
+		h.index = make([]*levelIndex, h.MaxLevel+1)
+	}
+	li := h.index[l]
+	n := len(h.levels[l])
+	if li == nil || n > li.sizedFor*indexRebuildFactor+indexRebuildSlop ||
+		n*indexRebuildFactor+indexRebuildSlop < li.sizedFor {
+		li = newLevelIndex(h.DomainAt(l), n)
+		li.build(h.levels[l], h.pool)
+		h.index[l] = li
+	}
+	return li
+}
+
+func floorDivInt(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

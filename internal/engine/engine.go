@@ -178,6 +178,13 @@ type Options struct {
 	// baseline and compared bitwise (panic on divergence). Roughly
 	// doubles the data-path cost — for tests and -datacheck runs only.
 	DataCheck bool
+	// PlanCheck enables the exchange-plan debug oracle: every served
+	// (indexed, incrementally patched) plan is re-derived through the
+	// retained O(n²) scan planners and compared bitwise (panic on
+	// divergence). Structure-only and deterministic, so unlike
+	// DataCheck it is safe on multi-process worker shards — for tests
+	// and -plancheck runs only.
+	PlanCheck bool
 }
 
 func (o *Options) setDefaults() {
@@ -361,6 +368,7 @@ func New(sys *machine.System, driver workload.Driver, opt Options) *Runner {
 	// fresh and the Resume hierarchy).
 	r.h.SetPool(opt.Pool)
 	r.h.SetDataCheck(opt.DataCheck)
+	r.h.SetPlanCheck(opt.PlanCheck)
 	// The ledger attaches before the initial decomposition so every
 	// grid creation flows through it as an event; on Resume the
 	// constructor's full build (parallel over the pool) picks up the
@@ -829,6 +837,7 @@ func (r *Runner) recoverFromCheckpoint() int {
 	lost := now - ckClock
 	h.SetPool(r.opt.Pool)
 	h.SetDataCheck(r.opt.DataCheck)
+	h.SetPlanCheck(r.opt.PlanCheck)
 	r.h = h
 	r.ctx.H = h
 	r.t = simT

@@ -99,28 +99,34 @@ func (l BoxList) Coarsen(r int) BoxList {
 // Subtract returns a \ b as a list of disjoint boxes. The standard
 // axis-sweep decomposition yields at most 6 boxes in 3-D.
 func Subtract(a, b Box) BoxList {
+	return SubtractAppend(nil, a, b)
+}
+
+// SubtractAppend appends a \ b to dst and returns the extended list —
+// the scratch-friendly form of Subtract for callers that reuse a
+// buffer across many subtractions.
+func SubtractAppend(dst BoxList, a, b Box) BoxList {
 	iv := a.Intersect(b)
 	if iv.Empty() {
-		return BoxList{a}
+		return append(dst, a)
 	}
 	if iv == a {
-		return nil
+		return dst
 	}
-	var out BoxList
 	rem := a
 	for d := 0; d < Dims; d++ {
 		if rem.Lo[d] < iv.Lo[d] {
 			lo, hi := rem.SplitAt(d, iv.Lo[d])
-			out = append(out, lo)
+			dst = append(dst, lo)
 			rem = hi
 		}
 		if rem.Hi[d] > iv.Hi[d] {
 			lo, hi := rem.SplitAt(d, iv.Hi[d]+1)
-			out = append(out, hi)
+			dst = append(dst, hi)
 			rem = lo
 		}
 	}
-	return out
+	return dst
 }
 
 // SubtractList returns the region of a not covered by any box in bs,

@@ -75,6 +75,11 @@ type Scenario struct {
 	// self-tests: "colocation" misplaces children outside their
 	// parent's group. Never produced by Generate; preserved by Shrink.
 	InjectBug string
+	// PlanCheck arms the engine's exchange-plan oracle for the run:
+	// every served plan is compared bitwise against the O(n²) scan
+	// baselines. Never produced by Generate (the plan-equivalence soak
+	// and -plancheck replays force it); preserved by Shrink.
+	PlanCheck bool
 }
 
 // System builds the machine the scenario runs on.
@@ -173,6 +178,7 @@ func (s *Scenario) EngineOptions(check func(*engine.PhaseInfo)) (engine.Options,
 		UseForecast:        s.UseForecast,
 		CheckpointInterval: s.CkptInterval,
 		GroupQuorum:        s.Quorum,
+		PlanCheck:          s.PlanCheck,
 		Invariants:         check,
 	}
 	if len(s.Faults) > 0 {
@@ -324,6 +330,9 @@ func (s *Scenario) Encode() string {
 	if s.InjectBug != "" {
 		add("bug", s.InjectBug)
 	}
+	if s.PlanCheck {
+		add("plancheck", "1")
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -390,6 +399,8 @@ func Parse(in string) (Scenario, error) {
 			s.Faults, err = parseFaults(v)
 		case "bug":
 			s.InjectBug = v
+		case "plancheck":
+			s.PlanCheck = v == "1"
 		default:
 			return s, fmt.Errorf("scenario.Parse: unknown key %q", k)
 		}
