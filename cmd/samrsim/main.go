@@ -3,7 +3,17 @@
 //
 // Usage:
 //
-//	samrsim -dataset ShockPool3D -system wan -scheme distributed -n 4 -steps 10
+//	samrsim -dataset ShockPool3D -system wan -policy distributed -n 4 -steps 10
+//
+// -policy selects the balancer from the policy registry (distributed,
+// parallel, sfc, hilbert-sfc, diffusion, diffusion-sos, knapsack, or
+// an alias such as "paper"); -scheme is the legacy spelling.
+// -tournament instead runs the seeded policy ablation — every
+// registered policy on identical scenario envelopes — printing a
+// markdown comparison report, with -bench-out writing the
+// deterministic per-policy metrics JSON:
+//
+//	samrsim -tournament -tournament-scenarios 20 -bench-out BENCH_policy.json
 //
 // With -ckpt-dir the engine writes a durable checkpoint generation
 // every -ckpt-interval level-0 steps; an interrupted run (crash, kill,
@@ -46,6 +56,7 @@ import (
 	"samrdlb/internal/ckpt"
 	"samrdlb/internal/dlb"
 	"samrdlb/internal/engine"
+	"samrdlb/internal/exp"
 	"samrdlb/internal/fault"
 	"samrdlb/internal/invariant"
 	"samrdlb/internal/machine"
@@ -62,7 +73,12 @@ func main() {
 	var (
 		dataset   = flag.String("dataset", "ShockPool3D", "ShockPool3D | AMR64 | SedovBlast | blob | uniform")
 		system    = flag.String("system", "wan", "wan | lan | origin (single machine)")
-		scheme    = flag.String("scheme", "distributed", "distributed | parallel | sfc")
+		scheme    = flag.String("scheme", "distributed", "balancer policy (legacy spelling of -policy)")
+		policy    = flag.String("policy", "", "balancer policy: distributed | parallel | sfc | hilbert-sfc | diffusion | diffusion-sos | knapsack (or an alias; overrides -scheme)")
+		tourney   = flag.Bool("tournament", false, "run the policy ablation tournament instead of a single run: every registered policy on the same seeded scenario envelopes, printing a markdown comparison report")
+		tourneyN  = flag.Int("tournament-scenarios", 20, "tournament: number of generated scenario envelopes per policy")
+		tourneySd = flag.Int64("tournament-seed", 40000, "tournament: first scenario-generator seed")
+		benchOut  = flag.String("bench-out", "", "tournament: write the deterministic per-policy metrics JSON (BENCH_policy.json) to this file")
 		n         = flag.Int("n", 4, "processors per group (origin: total)")
 		steps     = flag.Int("steps", 10, "level-0 time steps")
 		maxLevel  = flag.Int("maxlevel", 2, "deepest refinement level")
@@ -103,6 +119,13 @@ func main() {
 	)
 	flag.Parse()
 
+	if *policy != "" {
+		*scheme = *policy
+	}
+
+	if *tourney {
+		os.Exit(runTournament(*tourneyN, *tourneySd, *benchOut))
+	}
 	if *scenSpec != "" {
 		os.Exit(runScenario(*scenSpec, *plnCheck))
 	}
@@ -152,16 +175,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	var bal dlb.Balancer
-	switch *scheme {
-	case "distributed":
-		bal = dlb.DistributedDLB{}
-	case "parallel":
-		bal = dlb.ParallelDLB{}
-	case "sfc":
-		bal = dlb.SFCDLB{}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+	bal, err := dlb.NewPolicy(*scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "policy: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -254,9 +270,10 @@ func main() {
 	}
 	var checker *invariant.Checker
 	if *invCheck {
-		// The parallel and SFC schemes deliberately ignore group
-		// placement; only the distributed scheme promises co-location.
-		checker = invariant.New(*scheme == "distributed")
+		// Rule scoping follows the policy's registered traits:
+		// structural rules always on, paper-specific rules only where
+		// the policy promises them.
+		checker = invariant.NewForPolicy(*scheme)
 		opt.Invariants = checker.Check
 	}
 	var lock *lockstep
@@ -391,6 +408,40 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// runTournament runs the policy ablation tournament: every registered
+// balancer policy on the same n seeded scenario envelopes (starting at
+// seed0), printing the markdown comparison report and optionally
+// writing the deterministic per-policy metrics JSON. Returns the
+// process exit code: 0 when every run held its scoped invariants, 1
+// when any policy recorded failures, 2 on setup errors.
+func runTournament(n int, seed0 int64, benchOut string) int {
+	tour, err := exp.RunTournament(exp.TournamentOptions{Scenarios: n, Seed0: seed0})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tournament: %v\n", err)
+		return 2
+	}
+	fmt.Print(tour.Markdown())
+	if benchOut != "" {
+		data, jerr := tour.BenchJSON()
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "tournament: %v\n", jerr)
+			return 2
+		}
+		if werr := os.WriteFile(benchOut, data, 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "tournament: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "tournament: wrote %s\n", benchOut)
+	}
+	for _, s := range tour.Scores {
+		if s.Failures > 0 {
+			fmt.Fprintf(os.Stderr, "tournament: policy %s recorded %d failing envelope(s)\n", s.Policy, s.Failures)
+			return 1
+		}
+	}
+	return 0
 }
 
 // runScenario replays a property-harness scenario string (the replay

@@ -1,0 +1,221 @@
+package dlb
+
+import (
+	"math"
+	"sort"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/geom"
+)
+
+// DiffusionDLB balances the groups' indivisible grid loads with
+// nearest-neighbour diffusion over the netsim fabric graph, after
+// Demirel & Sbalzarini (arXiv:1308.0148): each global step computes a
+// work flow along every usable inter-group link and rounds it onto
+// whole level-0 grids, instead of picking a single donor/receiver
+// pair behind the paper's gain/cost gate.
+//
+//   - First-order scheme (FOS, the default): the flow on edge (i,j)
+//     is α·(z_i − z_j)·h_ij, where z_g = W_g / P_g is the group's
+//     perf-normalised workload, h_ij = 2·P_i·P_j/(P_i+P_j) the
+//     harmonic-mean performance weight converting the z-difference
+//     back into work units, and α = 1/|healthy groups| the diffusion
+//     parameter keeping the Jacobi sweep stable.
+//   - Second-order scheme (SOS, Order = 2): the flow carries memory,
+//     f_t = (β−1)·f_{t−1} + β·f_FOS, which converges in roughly the
+//     square root of the FOS step count. The flow memory is run state;
+//     like the NWS forecast history, it restarts empty after a
+//     checkpoint resume (a crash loses it by construction).
+//   - Integer rounding: loads are indivisible grids. A flow moves
+//     whole level-0 grids, nearest to the receiver's centroid first;
+//     a grid is shipped only while at least half of it fits the
+//     remaining flow (moved + w/2 ≤ f), and grids are never split.
+//
+// The local phase and child placement are the paper's (per-group
+// balanceOver, parent-group placement), so the comparison against
+// DistributedDLB isolates the global policy. Decisions report
+// Evaluated without GainCostValid: there is no Gain/Cost record, and
+// the invariant oracle's gate rule is scoped off via Traits.
+type DiffusionDLB struct {
+	// Order selects the scheme: 1 or 0 = first-order, 2 = second-order
+	// with flow memory.
+	Order int
+	// Beta is the SOS over-relaxation parameter in (1, 2); 0 = default
+	// 1.25. Ignored by the first-order scheme.
+	Beta float64
+
+	// prevFlow is the SOS flow memory, keyed by the (lo, hi) group
+	// pair and signed positive lo→hi.
+	prevFlow map[[2]int]float64
+}
+
+// Name implements Balancer.
+func (b *DiffusionDLB) Name() string {
+	if b.Order >= 2 {
+		return "diffusion-sos-dlb"
+	}
+	return "diffusion-dlb"
+}
+
+// PlaceChild implements Balancer: children stay in the parent's
+// group, as in the paper's scheme.
+func (b *DiffusionDLB) PlaceChild(ctx *Context, childBox geom.Box, parent *amr.Grid) int {
+	return DistributedDLB{}.PlaceChild(ctx, childBox, parent)
+}
+
+// LocalBalance implements Balancer with the paper's local phase:
+// per-group even redistribution.
+func (b *DiffusionDLB) LocalBalance(ctx *Context, level int) []Migration {
+	return DistributedDLB{}.LocalBalance(ctx, level)
+}
+
+// GlobalBalance implements Balancer: one diffusion sweep per level-0
+// step, rounded onto whole grids.
+func (b *DiffusionDLB) GlobalBalance(ctx *Context) GlobalDecision {
+	var d GlobalDecision
+	sys := ctx.Sys
+	if sys.NumGroups() < 2 {
+		// Degenerate one-group system: same accounting as the paper's
+		// scheme — the level-0 pass is still the global phase.
+		d.Migrations = balanceOver(ctx, 0, allProcs(ctx))
+		for _, m := range d.Migrations {
+			d.MovedBytes += m.Bytes
+		}
+		d.Invoked = len(d.Migrations) > 0
+		d.Evaluated = d.Invoked
+		return d
+	}
+	healthy := healthyGroups(ctx, &d)
+	if len(healthy) < 2 {
+		degradeToLocal(ctx, &d)
+		return d
+	}
+
+	// z_g = W_g / P_g over the reachable groups, using the
+	// iteration-weighted subtree works (the same units the rounding
+	// step compares grid loads in).
+	z := make(map[int]float64, len(healthy))
+	maxN, minN := math.Inf(-1), math.Inf(1)
+	for _, g := range healthy {
+		z[g] = groupSubtreeWork(ctx, g) / sys.GroupPerf(g)
+		maxN = math.Max(maxN, z[g])
+		minN = math.Min(minN, z[g])
+	}
+	if !ctx.ForceEval {
+		ratio := math.Inf(1)
+		switch {
+		case maxN <= 0:
+			ratio = 1
+		case minN > 0:
+			ratio = maxN / minN
+		}
+		if ratio <= 1+ctx.imbalanceEps() {
+			return d
+		}
+	}
+	d.Evaluated = true
+
+	// One Jacobi sweep: flows on every usable fabric edge, computed
+	// from the same z snapshot (edges do not see each other's moves
+	// until the next step).
+	alpha := 1 / float64(len(healthy))
+	beta := b.Beta
+	if !(beta > 1) || beta >= 2 {
+		beta = 1.25
+	}
+	flow := make(map[[2]int]float64)
+	for ii, i := range healthy {
+		for _, j := range healthy[ii+1:] {
+			if _, err := sys.Net.Between(i, j); err != nil {
+				continue // no route: diffusion only flows along live links
+			}
+			pi, pj := sys.GroupPerf(i), sys.GroupPerf(j)
+			h := 2 * pi * pj / (pi + pj)
+			f := alpha * (z[i] - z[j]) * h
+			key := [2]int{i, j}
+			if b.Order >= 2 {
+				f = (beta-1)*b.prevFlow[key] + beta*f
+			}
+			flow[key] = f
+		}
+	}
+	if b.Order >= 2 {
+		b.prevFlow = flow
+	}
+
+	// Execute the flows in deterministic edge order, rounding each
+	// onto whole level-0 grids.
+	keys := make([][2]int, 0, len(flow))
+	for k := range flow {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, c int) bool {
+		if keys[a][0] != keys[c][0] {
+			return keys[a][0] < keys[c][0]
+		}
+		return keys[a][1] < keys[c][1]
+	})
+	for _, k := range keys {
+		donor, recv, f := k[0], k[1], flow[k]
+		if f < 0 {
+			donor, recv, f = recv, donor, -f
+		}
+		if f < 1 {
+			continue
+		}
+		d.Migrations = append(d.Migrations, moveLevel0Rounded(ctx, donor, recv, f)...)
+	}
+	for _, m := range d.Migrations {
+		d.MovedBytes += m.Bytes
+	}
+	d.Invoked = len(d.Migrations) > 0
+	return d
+}
+
+// moveLevel0Rounded migrates whole level-0 grids carrying about
+// `target` iteration-weighted work from donor to receiver: nearest to
+// the receiver's centroid first, a grid ships only while at least
+// half of it fits the remaining flow, and grids are never split (the
+// integer-load rounding of arXiv:1308.0148).
+func moveLevel0Rounded(ctx *Context, donor, recv int, target float64) []Migration {
+	centroid := receiverCentroid(ctx, recv)
+	var donorGrids []*amr.Grid
+	if ctx.Ledger != nil {
+		for _, p := range sortedCopy(ctx.Sys.ProcsInGroup(donor)) {
+			donorGrids = append(donorGrids, ctx.Ledger.Owned(0, p)...)
+		}
+	} else {
+		for _, g := range ctx.H.Grids(0) {
+			if ctx.Sys.GroupOf(g.Owner) == donor {
+				donorGrids = append(donorGrids, g)
+			}
+		}
+	}
+	sort.Slice(donorGrids, func(i, j int) bool {
+		di := dist2(boxCentroid(donorGrids[i].Box), centroid)
+		dj := dist2(boxCentroid(donorGrids[j].Box), centroid)
+		if di != dj {
+			return di < dj
+		}
+		return donorGrids[i].ID < donorGrids[j].ID
+	})
+	recvProcs := groupProcs(ctx, recv)
+	numFields := len(ctx.H.Fields)
+	var out []Migration
+	var moved float64
+	for _, g := range donorGrids {
+		w := subtreeWork(ctx, g)
+		if moved+w/2 > target {
+			continue // less than half fits; try a smaller grid further out
+		}
+		from := g.Owner
+		ctx.H.SetOwner(g, leastLoadedProc(ctx, recvProcs, 0))
+		adoptSubtree(ctx, g)
+		out = append(out, Migration{Grid: g.ID, From: from, To: g.Owner, Bytes: g.Bytes(numFields)})
+		moved += w
+		if moved >= target {
+			break
+		}
+	}
+	return out
+}

@@ -80,36 +80,9 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 		return d
 	}
 
-	// Partition the groups into reachable and quarantined.
-	var healthy []int
-	for g := 0; g < sys.NumGroups(); g++ {
-		if ctx.Quarantined != nil && ctx.Quarantined(g, ctx.now()) {
-			d.Quarantined = append(d.Quarantined, g)
-			continue
-		}
-		if len(sys.AliveInGroup(g)) == 0 {
-			// Every processor in the group has failed: it can neither
-			// donate work nor receive it. Picking it as the underloaded
-			// receiver would park level-0 grids on dead processors until
-			// the next recovery.
-			continue
-		}
-		healthy = append(healthy, g)
-	}
+	healthy := healthyGroups(ctx, &d)
 	if len(healthy) < 2 {
-		// Fewer than two reachable groups: no global phase is
-		// possible. Degrade to local-only level-0 balancing — every
-		// group (quarantined ones included: they are cut off, not
-		// dead) evens out its own processors and waits for the
-		// outage window to close.
-		d.Degraded = true
-		for g := 0; g < sys.NumGroups(); g++ {
-			d.Migrations = append(d.Migrations, balanceOver(ctx, 0, groupProcs(ctx, g))...)
-		}
-		for _, m := range d.Migrations {
-			d.MovedBytes += m.Bytes
-		}
-		d.Invoked = len(d.Migrations) > 0
+		degradeToLocal(ctx, &d)
 		return d
 	}
 
@@ -228,6 +201,43 @@ func (DistributedDLB) GlobalBalance(ctx *Context) GlobalDecision {
 		d.MovedBytes += m.Bytes
 	}
 	return d
+}
+
+// healthyGroups partitions the groups into reachable and excluded,
+// recording quarantined groups on the decision. A group is healthy
+// when it is not quarantined and has at least one surviving
+// processor: a fully failed group can neither donate work nor receive
+// it — picking it as the underloaded receiver would park level-0
+// grids on dead processors until the next recovery.
+func healthyGroups(ctx *Context, d *GlobalDecision) []int {
+	sys := ctx.Sys
+	var healthy []int
+	for g := 0; g < sys.NumGroups(); g++ {
+		if ctx.Quarantined != nil && ctx.Quarantined(g, ctx.now()) {
+			d.Quarantined = append(d.Quarantined, g)
+			continue
+		}
+		if len(sys.AliveInGroup(g)) == 0 {
+			continue
+		}
+		healthy = append(healthy, g)
+	}
+	return healthy
+}
+
+// degradeToLocal is the shared fewer-than-two-reachable-groups
+// fallback: no global phase is possible, so every group (quarantined
+// ones included: they are cut off, not dead) evens out its own
+// processors and waits for the outage window to close.
+func degradeToLocal(ctx *Context, d *GlobalDecision) {
+	d.Degraded = true
+	for g := 0; g < ctx.Sys.NumGroups(); g++ {
+		d.Migrations = append(d.Migrations, balanceOver(ctx, 0, groupProcs(ctx, g))...)
+	}
+	for _, m := range d.Migrations {
+		d.MovedBytes += m.Bytes
+	}
+	d.Invoked = len(d.Migrations) > 0
 }
 
 // groupLevel0Cells returns the donor group's W^0: total level-0 cells

@@ -1,0 +1,120 @@
+package dlb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Traits declares which of the oracle-checked structural promises a
+// policy makes. The invariant checker scopes its paper-specific rules
+// with these, so the same differential harness can audit every policy
+// without false positives:
+//
+//   - Colocation: children live in their parent's group, local-phase
+//     migrations stay within a group, and only level-0 grids cross
+//     groups (Sections 4.2–4.3). Structural rules — proper nesting,
+//     owner ranges, ledger exactness, owners-alive — are always
+//     checked and have no trait.
+//   - GainGate: the global phase redistributes on a multi-group
+//     healthy system only after running the Gain > γ·Cost gate of
+//     Eq. 1 and records the compared values (GainCostValid).
+//     Diffusion deliberately has no such gate.
+//   - BalanceTolerance: after a local pass, each balanced set's
+//     perf-normalised loads lie within one grid quantum of the
+//     proportional target. SFC contiguity and knapsack's movement cap
+//     both trade this away by design.
+type Traits struct {
+	Colocation       bool
+	GainGate         bool
+	BalanceTolerance bool
+}
+
+type policyEntry struct {
+	canonical string
+	traits    Traits
+	factory   func() Balancer
+}
+
+var policyRegistry = map[string]policyEntry{}
+
+// RegisterPolicy adds a balancer factory to the registry under a
+// canonical name plus optional aliases. Policies are factories, not
+// values: some (diffusion's second-order flow memory) carry per-run
+// state, so every run must get a fresh instance. Re-registering a
+// name panics — the registry is wired at init time.
+func RegisterPolicy(name string, traits Traits, factory func() Balancer, aliases ...string) {
+	for _, n := range append([]string{name}, aliases...) {
+		if _, dup := policyRegistry[n]; dup {
+			panic("dlb: duplicate policy name " + n)
+		}
+		policyRegistry[n] = policyEntry{canonical: name, traits: traits, factory: factory}
+	}
+}
+
+// NewPolicy builds a fresh balancer for the named policy (canonical
+// name or alias).
+func NewPolicy(name string) (Balancer, error) {
+	e, ok := policyRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("dlb: unknown policy %q (have %v)", name, PolicyNames())
+	}
+	return e.factory(), nil
+}
+
+// PolicyNames returns the canonical registered policy names, sorted.
+func PolicyNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range policyRegistry {
+		if !seen[e.canonical] {
+			seen[e.canonical] = true
+			out = append(out, e.canonical)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PolicyTraits returns the named policy's invariant traits; ok is
+// false for unknown names.
+func PolicyTraits(name string) (Traits, bool) {
+	e, ok := policyRegistry[name]
+	return e.traits, ok
+}
+
+// CanonicalPolicy resolves a name or alias to the canonical policy
+// name; ok is false for unknown names.
+func CanonicalPolicy(name string) (string, bool) {
+	e, ok := policyRegistry[name]
+	return e.canonical, ok
+}
+
+func init() {
+	// The paper's scheme: the full local/global split with the Eq. 1
+	// gate. "paper" aliases it for the ablation vocabulary.
+	RegisterPolicy("distributed", Traits{Colocation: true, GainGate: true, BalanceTolerance: true},
+		func() Balancer { return DistributedDLB{} }, "paper")
+	// The ICPP 2001 baseline: group-oblivious even redistribution. It
+	// deliberately scatters children, so no co-location; it never runs
+	// a gate.
+	RegisterPolicy("parallel", Traits{BalanceTolerance: true},
+		func() Balancer { return ParallelDLB{} })
+	// SFC local phases inherit the paper's placement and global gate
+	// but trade the one-quantum tolerance for curve contiguity.
+	RegisterPolicy("sfc", Traits{Colocation: true, GainGate: true},
+		func() Balancer { return SFCDLB{} })
+	RegisterPolicy("hilbert-sfc", Traits{Colocation: true, GainGate: true},
+		func() Balancer { return SFCDLB{Curve: CurveHilbert} })
+	// Diffusion balances groups with ungated nearest-neighbour flows:
+	// no Gain/Cost record ever exists (that absence is exactly what the
+	// trait scoping covers). First-order is stateless; second-order
+	// carries flow memory across steps.
+	RegisterPolicy("diffusion", Traits{Colocation: true, BalanceTolerance: true},
+		func() Balancer { return &DiffusionDLB{} })
+	RegisterPolicy("diffusion-sos", Traits{Colocation: true, BalanceTolerance: true},
+		func() Balancer { return &DiffusionDLB{Order: 2} })
+	// Knapsack/LPT packs each group from scratch under a movement-cost
+	// cap; when the cap binds, the one-quantum tolerance is forfeit.
+	RegisterPolicy("knapsack", Traits{Colocation: true, GainGate: true},
+		func() Balancer { return KnapsackDLB{} })
+}

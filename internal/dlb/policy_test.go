@@ -1,0 +1,264 @@
+package dlb
+
+import (
+	"sort"
+	"testing"
+
+	"samrdlb/internal/amr"
+	"samrdlb/internal/geom"
+	"samrdlb/internal/machine"
+)
+
+func TestPolicyRegistryNamesAndAliases(t *testing.T) {
+	names := PolicyNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("PolicyNames not sorted: %v", names)
+	}
+	want := map[string]string{
+		"distributed":   "distributed-dlb",
+		"parallel":      "parallel-dlb",
+		"sfc":           "sfc-dlb",
+		"hilbert-sfc":   "hilbert-sfc-dlb",
+		"diffusion":     "diffusion-dlb",
+		"diffusion-sos": "diffusion-sos-dlb",
+		"knapsack":      "knapsack-dlb",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("PolicyNames = %v, want %d policies", names, len(want))
+	}
+	for reg, balName := range want {
+		b, err := NewPolicy(reg)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", reg, err)
+		}
+		if b.Name() != balName {
+			t.Errorf("NewPolicy(%q).Name() = %q, want %q", reg, b.Name(), balName)
+		}
+	}
+	// "paper" is an alias of the distributed scheme, not a separate
+	// canonical name.
+	b, err := NewPolicy("paper")
+	if err != nil || b.Name() != "distributed-dlb" {
+		t.Fatalf("alias paper: %v, %v", b, err)
+	}
+	if c, ok := CanonicalPolicy("paper"); !ok || c != "distributed" {
+		t.Fatalf("CanonicalPolicy(paper) = %q, %v", c, ok)
+	}
+	if _, err := NewPolicy("no-such-policy"); err == nil {
+		t.Fatal("NewPolicy accepted an unknown name")
+	}
+	if _, ok := PolicyTraits("no-such-policy"); ok {
+		t.Fatal("PolicyTraits accepted an unknown name")
+	}
+}
+
+func TestPolicyTraitsScopeRules(t *testing.T) {
+	cases := []struct {
+		name string
+		want Traits
+	}{
+		{"distributed", Traits{Colocation: true, GainGate: true, BalanceTolerance: true}},
+		{"paper", Traits{Colocation: true, GainGate: true, BalanceTolerance: true}},
+		{"parallel", Traits{BalanceTolerance: true}},
+		{"sfc", Traits{Colocation: true, GainGate: true}},
+		{"hilbert-sfc", Traits{Colocation: true, GainGate: true}},
+		{"diffusion", Traits{Colocation: true, BalanceTolerance: true}},
+		{"diffusion-sos", Traits{Colocation: true, BalanceTolerance: true}},
+		{"knapsack", Traits{Colocation: true, GainGate: true}},
+	}
+	for _, c := range cases {
+		got, ok := PolicyTraits(c.name)
+		if !ok || got != c.want {
+			t.Errorf("PolicyTraits(%q) = %+v, %v; want %+v", c.name, got, ok, c.want)
+		}
+	}
+}
+
+// TestPolicyFactoriesAreFresh pins the registry contract that matters
+// for stateful policies: every NewPolicy call returns an independent
+// instance, so one run's SOS flow memory can never leak into another.
+func TestPolicyFactoriesAreFresh(t *testing.T) {
+	a, _ := NewPolicy("diffusion-sos")
+	b, _ := NewPolicy("diffusion-sos")
+	da, db := a.(*DiffusionDLB), b.(*DiffusionDLB)
+	if da == db {
+		t.Fatal("NewPolicy returned a shared instance for a stateful policy")
+	}
+	da.prevFlow = map[[2]int]float64{{0, 1}: 7}
+	if db.prevFlow != nil {
+		t.Fatal("flow memory leaked between instances")
+	}
+}
+
+func TestPolicyDiffusionBalancesGroupsWithWholeGrids(t *testing.T) {
+	sys := machine.WanPair(2, nil)
+	// Four level-0 slabs, all owned by group 0 (procs 0 and 1).
+	h := slabHierarchy(8, []int{2, 2, 2, 2}, []int{0, 0, 1, 1})
+	ctx := ctxFor(sys, h)
+	before := len(h.Grids(0))
+
+	b, _ := NewPolicy("diffusion")
+	d := b.GlobalBalance(ctx)
+	if !d.Evaluated {
+		t.Fatal("unbounded imbalance did not trigger an evaluation")
+	}
+	if d.GainCostValid {
+		t.Fatal("diffusion must not claim a Gain/Cost gate record")
+	}
+	if !d.Invoked || len(d.Migrations) == 0 {
+		t.Fatalf("expected migrations, got %+v", d)
+	}
+	// Integer rounding: whole grids only — the grid count is unchanged
+	// (the paper scheme's splitTowards path would have grown it).
+	if after := len(h.Grids(0)); after != before {
+		t.Fatalf("diffusion split a grid: %d grids -> %d", before, after)
+	}
+	for _, m := range d.Migrations {
+		if g := h.Grid(m.Grid); g.Level != 0 {
+			t.Fatalf("non-level-0 grid crossed groups: %+v", m)
+		}
+	}
+	// The flow is (z0-z1)/2 · h = half the surplus: both groups now
+	// hold work.
+	g0, g1 := groupCells(ctx, 0, 0), groupCells(ctx, 0, 1)
+	if g0 == 0 || g1 == 0 {
+		t.Fatalf("diffusion over/under-shot: group cells %v / %v", g0, g1)
+	}
+	if g0 != g1 {
+		t.Errorf("symmetric system should balance exactly: %v vs %v", g0, g1)
+	}
+}
+
+func TestPolicyDiffusionBelowTriggerDoesNothing(t *testing.T) {
+	sys := machine.WanPair(2, nil)
+	// Already balanced across the groups.
+	h := slabHierarchy(8, []int{2, 2, 2, 2}, []int{0, 1, 2, 3})
+	ctx := ctxFor(sys, h)
+	b, _ := NewPolicy("diffusion")
+	d := b.GlobalBalance(ctx)
+	if d.Evaluated || d.Invoked || len(d.Migrations) != 0 {
+		t.Fatalf("balanced system should be left alone: %+v", d)
+	}
+}
+
+func TestPolicyDiffusionSOSKeepsFlowMemory(t *testing.T) {
+	sys := machine.WanPair(2, nil)
+	h := slabHierarchy(8, []int{2, 2, 2, 2}, []int{0, 0, 1, 1})
+	ctx := ctxFor(sys, h)
+	b := &DiffusionDLB{Order: 2}
+	if b.Name() != "diffusion-sos-dlb" {
+		t.Fatalf("name = %q", b.Name())
+	}
+	d := b.GlobalBalance(ctx)
+	if !d.Invoked {
+		t.Fatalf("expected an SOS sweep to move work: %+v", d)
+	}
+	if len(b.prevFlow) == 0 {
+		t.Fatal("second-order scheme recorded no flow memory")
+	}
+	// First-order leaves no memory behind.
+	f := &DiffusionDLB{}
+	f.GlobalBalance(ctxFor(sys, slabHierarchy(8, []int{2, 2, 2, 2}, []int{0, 0, 1, 1})))
+	if f.prevFlow != nil {
+		t.Fatal("first-order scheme must stay stateless")
+	}
+}
+
+func TestPolicyDiffusionDegradesWhenIsolated(t *testing.T) {
+	sys := machine.WanPair(2, nil)
+	h := slabHierarchy(8, []int{2, 2, 2, 2}, []int{0, 0, 1, 1})
+	ctx := ctxFor(sys, h)
+	ctx.Quarantined = func(group int, t float64) bool { return group == 1 }
+	b, _ := NewPolicy("diffusion")
+	d := b.GlobalBalance(ctx)
+	if !d.Degraded {
+		t.Fatalf("one reachable group should degrade to local-only: %+v", d)
+	}
+	for _, m := range d.Migrations {
+		if !sys.SameGroup(m.From, m.To) {
+			t.Fatalf("degraded sweep crossed groups: %+v", m)
+		}
+	}
+}
+
+func TestPolicyKnapsackPacksWithinGroups(t *testing.T) {
+	sys := machine.WanPair(2, nil)
+	// Uneven slabs, everything on proc 0 of group 0 and proc 2 of
+	// group 1.
+	h := slabHierarchy(8, []int{3, 1, 2, 2}, []int{0, 0, 2, 2})
+	ctx := ctxFor(sys, h)
+	k := KnapsackDLB{MoveFrac: 1}
+	migs := k.LocalBalance(ctx, 0)
+	if len(migs) == 0 {
+		t.Fatal("expected migrations")
+	}
+	for _, m := range migs {
+		if !sys.SameGroup(m.From, m.To) {
+			t.Fatalf("knapsack local pass crossed groups: %+v", m)
+		}
+	}
+	// LPT bound: within each group, the spread is at most the largest
+	// grid.
+	pc := procCells(ctx, 0)
+	if spread := pc[0] - pc[1]; spread < -192 || spread > 192 {
+		t.Errorf("group 0 spread %v exceeds the largest grid", spread)
+	}
+	if pc[2] != pc[3] {
+		t.Errorf("group 1 equal slabs should split evenly: %v vs %v", pc[2], pc[3])
+	}
+}
+
+func TestPolicyKnapsackMovementCapBinds(t *testing.T) {
+	sys := machine.WanPair(2, nil)
+	h := slabHierarchy(8, []int{2, 2, 2, 2}, []int{0, 0, 0, 0})
+	ctx := ctxFor(sys, h)
+	// A cap far below one grid's bytes freezes the layout even though
+	// it is maximally imbalanced.
+	k := KnapsackDLB{MoveFrac: 0.0001}
+	if migs := k.LocalBalance(ctx, 0); len(migs) != 0 {
+		t.Fatalf("cap should forbid every move, got %d migrations", len(migs))
+	}
+	// With the cap lifted the same layout balances.
+	if migs := (KnapsackDLB{MoveFrac: 1}).LocalBalance(ctx, 0); len(migs) == 0 {
+		t.Fatal("uncapped pack moved nothing")
+	}
+}
+
+func TestPolicyHilbertSFCContiguousRuns(t *testing.T) {
+	sys := machine.WanPair(2, nil)
+	h := amr.New(geom.UnitCube(8), 2, 1, 1, false, "q")
+	for x := 0; x < 8; x += 4 {
+		for y := 0; y < 8; y += 4 {
+			for z := 0; z < 8; z += 2 {
+				h.AddGrid(0, geom.BoxFromShape(geom.Index{x, y, z}, geom.Index{4, 4, 2}), 0, amr.NoGrid)
+			}
+		}
+	}
+	ctx := ctxFor(sys, h)
+	s := SFCDLB{Curve: CurveHilbert}
+	migs := s.LocalBalance(ctx, 0)
+	if len(migs) == 0 {
+		t.Fatal("expected migrations")
+	}
+	for _, m := range migs {
+		if !sys.SameGroup(m.From, m.To) {
+			t.Fatalf("hilbert-sfc local balance crossed groups: %+v", m)
+		}
+	}
+	pc := procCells(ctx, 0)
+	if pc[0] != pc[1] {
+		t.Errorf("hilbert-sfc balance uneven: %v vs %v", pc[0], pc[1])
+	}
+	// Each processor owns one contiguous run of the Hilbert order.
+	grids := append([]*amr.Grid(nil), h.Grids(0)...)
+	sort.Slice(grids, func(i, j int) bool { return s.keyOf(grids[i].Box) < s.keyOf(grids[j].Box) })
+	switches := 0
+	for i := 1; i < len(grids); i++ {
+		if grids[i].Owner != grids[i-1].Owner {
+			switches++
+		}
+	}
+	if switches != 1 {
+		t.Errorf("expected one owner switch along the Hilbert curve, got %d", switches)
+	}
+}

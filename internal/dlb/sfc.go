@@ -7,45 +7,84 @@ import (
 	"samrdlb/internal/geom"
 )
 
+// CurveKind selects the space-filling curve an SFCDLB orders grids
+// by. The zero value is the Morton curve, preserving the behaviour of
+// the original SFC scheme.
+type CurveKind int
+
+const (
+	// CurveMorton orders grids by the Z-order key of their centroid.
+	CurveMorton CurveKind = iota
+	// CurveHilbert orders grids by the Hilbert key of their centroid:
+	// consecutive curve positions are face neighbours, so contiguous
+	// runs are spatially tighter than Morton runs.
+	CurveHilbert
+)
+
 // SFCDLB is a locality-preserving variant of the distributed scheme:
-// its local phase partitions each group's grids along a Morton
-// (Z-order) space-filling curve into contiguous, performance-weighted
-// runs, instead of greedily migrating grids between load extremes.
-// Contiguous curve runs are spatially compact, so neighbouring grids
-// tend to share a processor and the sibling exchange stays local —
-// the partitioning style later AMR frameworks adopted. Placement and
-// the global phase are inherited from DistributedDLB, so the
-// comparison against the paper's scheme isolates the local-phase
-// policy.
-type SFCDLB struct{}
+// its local phase partitions each group's grids along a space-filling
+// curve into contiguous, performance-weighted runs, instead of
+// greedily migrating grids between load extremes. Contiguous curve
+// runs are spatially compact, so neighbouring grids tend to share a
+// processor and the sibling exchange stays local — the partitioning
+// style later AMR frameworks adopted. Placement and the global phase
+// are inherited from DistributedDLB, so the comparison against the
+// paper's scheme isolates the local-phase policy. Curve selects the
+// ordering (Morton by default, Hilbert for tighter runs).
+type SFCDLB struct {
+	Curve CurveKind
+}
 
 // Name implements Balancer.
-func (SFCDLB) Name() string { return "sfc-dlb" }
+func (s SFCDLB) Name() string {
+	if s.Curve == CurveHilbert {
+		return "hilbert-sfc-dlb"
+	}
+	return "sfc-dlb"
+}
 
 // PlaceChild implements Balancer (same policy as the distributed
 // scheme: children stay in the parent's group).
-func (SFCDLB) PlaceChild(ctx *Context, childBox geom.Box, parent *amr.Grid) int {
+func (s SFCDLB) PlaceChild(ctx *Context, childBox geom.Box, parent *amr.Grid) int {
 	return DistributedDLB{}.PlaceChild(ctx, childBox, parent)
 }
 
 // GlobalBalance implements Balancer via the paper's global phase.
-func (SFCDLB) GlobalBalance(ctx *Context) GlobalDecision {
+func (s SFCDLB) GlobalBalance(ctx *Context) GlobalDecision {
 	return DistributedDLB{}.GlobalBalance(ctx)
 }
 
 // LocalBalance implements Balancer: within each group, grids at the
-// level are sorted by the Morton key of their centroid and dealt out
+// level are sorted by the curve key of their centroid and dealt out
 // as contiguous runs sized proportionally to processor performance.
-func (SFCDLB) LocalBalance(ctx *Context, level int) []Migration {
+// Runs are dealt over groupProcs — the alive, admitted processors —
+// so a curve share is never assigned to a failed processor (the same
+// set the paper's balanceOver partitions over).
+func (s SFCDLB) LocalBalance(ctx *Context, level int) []Migration {
 	var out []Migration
 	for g := 0; g < ctx.Sys.NumGroups(); g++ {
-		out = append(out, sfcPartition(ctx, level, sortedCopy(ctx.Sys.ProcsInGroup(g)))...)
+		out = append(out, sfcPartition(ctx, level, groupProcs(ctx, g), s.keyOf)...)
 	}
 	return out
 }
 
+// keyOf returns the curve key of a box's centroid (doubled to stay
+// integral).
+func (s SFCDLB) keyOf(b geom.Box) uint64 {
+	if s.Curve == CurveHilbert {
+		return b.Lo.Add(b.Hi).HilbertKey()
+	}
+	return mortonOf(b)
+}
+
+// mortonOf returns the Morton key of a box's centroid (doubled to
+// stay integral).
+func mortonOf(b geom.Box) uint64 {
+	return b.Lo.Add(b.Hi).MortonKey()
+}
+
 // sfcPartition assigns the procs' grids at the level along the curve.
-func sfcPartition(ctx *Context, level int, procs []int) []Migration {
+func sfcPartition(ctx *Context, level int, procs []int, keyOf func(geom.Box) uint64) []Migration {
 	if len(procs) < 2 {
 		return nil
 	}
@@ -65,8 +104,8 @@ func sfcPartition(ctx *Context, level int, procs []int) []Migration {
 		return nil
 	}
 	sort.Slice(grids, func(i, j int) bool {
-		ki := mortonOf(grids[i].Box)
-		kj := mortonOf(grids[j].Box)
+		ki := keyOf(grids[i].Box)
+		kj := keyOf(grids[j].Box)
 		if ki != kj {
 			return ki < kj
 		}
@@ -101,10 +140,4 @@ func sfcPartition(ctx *Context, level int, procs []int) []Migration {
 		assigned += float64(g.NumCells())
 	}
 	return out
-}
-
-// mortonOf returns the Morton key of a box's centroid (doubled to
-// stay integral).
-func mortonOf(b geom.Box) uint64 {
-	return b.Lo.Add(b.Hi).MortonKey()
 }

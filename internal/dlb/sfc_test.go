@@ -117,7 +117,7 @@ func TestSFCRespectsPerfWeights(t *testing.T) {
 	sys := machine.Heterogeneous(1, 1, 0.5, nil)
 	h := slabHierarchy(6, []int{1, 1, 1, 1, 1, 1}, []int{0, 0, 0, 0, 0, 0})
 	ctx := ctxFor(sys, h)
-	sfcPartition(ctx, 0, []int{0, 1})
+	sfcPartition(ctx, 0, []int{0, 1}, SFCDLB{}.keyOf)
 	pc := procCells(ctx, 0)
 	if pc[0] != 144 || pc[1] != 72 {
 		t.Errorf("perf-weighted SFC split = %v / %v, want 144 / 72", pc[0], pc[1])
@@ -148,4 +148,38 @@ func abs(x int) int {
 		return -x
 	}
 	return x
+}
+
+func TestSFCLocalBalanceSkipsFailedProcs(t *testing.T) {
+	// Regression for a fuzz-found invariant violation: the curve
+	// partitioner dealt perf-weighted runs over every processor in the
+	// group, failed ones included, so after a processor failure the SFC
+	// local phase re-assigned grids onto the dead processor and the
+	// checkpoint captured them there (owners-alive fired on resume).
+	// The runs must be dealt over the alive processors only.
+	for _, curve := range []CurveKind{CurveMorton, CurveHilbert} {
+		sys := machine.WanPair(3, nil) // group 0 = procs 0,1,2
+		sys.SetHealth(1, 0)
+		h := slabHierarchy(6, []int{1, 1, 1, 1, 1, 1}, []int{0, 0, 0, 0, 0, 0})
+		ctx := ctxFor(sys, h)
+		migs := SFCDLB{Curve: curve}.LocalBalance(ctx, 0)
+		if len(migs) == 0 {
+			t.Fatalf("curve %v: expected migrations onto the surviving procs", curve)
+		}
+		for _, m := range migs {
+			if m.To == 1 {
+				t.Errorf("curve %v: migration %+v targets the failed processor", curve, m)
+			}
+		}
+		for _, g := range h.Grids(0) {
+			if g.Owner == 1 {
+				t.Errorf("curve %v: grid %d left on the failed processor", curve, g.ID)
+			}
+		}
+		// The survivors still split the curve evenly.
+		pc := procCells(ctx, 0)
+		if pc[0] != pc[2] {
+			t.Errorf("curve %v: uneven split over survivors: %v vs %v", curve, pc[0], pc[2])
+		}
+	}
 }

@@ -100,18 +100,14 @@ func systemFor(dataset string, n int, seed int64) *machine.System {
 	return machine.WanPair(n, wanTraffic(seed))
 }
 
-// balancerFor maps a scheme name to its implementation.
+// balancerFor maps a scheme name to its implementation via the policy
+// registry (any canonical name or alias).
 func balancerFor(scheme string) dlb.Balancer {
-	switch scheme {
-	case "parallel":
-		return dlb.ParallelDLB{}
-	case "distributed":
-		return dlb.DistributedDLB{}
-	case "sfc":
-		return dlb.SFCDLB{}
-	default:
+	b, err := dlb.NewPolicy(scheme)
+	if err != nil {
 		panic("exp: unknown scheme " + scheme)
 	}
+	return b
 }
 
 // Run executes one (dataset, scheme, system) combination and returns

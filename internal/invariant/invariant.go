@@ -28,6 +28,7 @@ import (
 	"math"
 	"strings"
 
+	"samrdlb/internal/dlb"
 	"samrdlb/internal/engine"
 	"samrdlb/internal/machine"
 )
@@ -53,6 +54,18 @@ type Checker struct {
 	// level-0-only global moves). The parallel scheme deliberately
 	// violates them, so leave it false there.
 	Colocation bool
+	// GainGate enables the paper-specific gate bookkeeping rule: a
+	// global redistribution on a healthy multi-group system must have
+	// run (and recorded) the Eq. 1 gate. Policies that redistribute
+	// without a gain/cost model — diffusion, the parallel baseline —
+	// legitimately invoke without a record, so the rule is scoped off
+	// for them. A decision that does carry GainCostValid is always
+	// audited, whatever the policy.
+	GainGate bool
+	// BalanceTolerance enables the one-grid-quantum spread check after
+	// local phases. SFC contiguity and knapsack's movement cap trade
+	// this bound away by design.
+	BalanceTolerance bool
 	// MaxViolations bounds the accumulated list (0 = 64): a broken
 	// invariant tends to fire every phase thereafter.
 	MaxViolations int
@@ -68,9 +81,27 @@ type Checker struct {
 }
 
 // New returns a checker; colocation selects the distributed scheme's
-// placement invariants.
+// placement invariants. It preserves the historical two-scheme
+// scoping: the distributed scheme gets the full rule set, the parallel
+// baseline keeps only the structural rules plus balance tolerance.
 func New(colocation bool) *Checker {
-	return &Checker{Colocation: colocation}
+	return &Checker{Colocation: colocation, GainGate: colocation, BalanceTolerance: true}
+}
+
+// NewForPolicy returns a checker scoped by the registered policy's
+// traits, so every policy runs under the oracle with exactly the rules
+// it promises to uphold. Unknown names fall back to the strict
+// distributed-scheme rule set.
+func NewForPolicy(policy string) *Checker {
+	tr, ok := dlb.PolicyTraits(policy)
+	if !ok {
+		return New(true)
+	}
+	return &Checker{
+		Colocation:       tr.Colocation,
+		GainGate:         tr.GainGate,
+		BalanceTolerance: tr.BalanceTolerance,
+	}
 }
 
 // Violations returns the accumulated violations.
@@ -118,7 +149,9 @@ func (c *Checker) Check(pi *engine.PhaseInfo) {
 		if c.Colocation {
 			c.checkLocalMigrationsInGroup(pi)
 		}
-		c.checkBalanceTolerance(pi)
+		if c.BalanceTolerance {
+			c.checkBalanceTolerance(pi)
+		}
 	case engine.PhaseGlobalBalance:
 		c.checkRecorderGroups(pi)
 		c.checkGlobalDecision(pi)
@@ -214,10 +247,11 @@ func (c *Checker) checkGlobalDecision(pi *engine.PhaseInfo) {
 				d.Invoked, want, d.Gain, d.Gamma, d.Cost)
 		}
 	} else if d.Evaluated && d.Invoked && len(d.Quarantined) == 0 && !d.Degraded &&
-		pi.Runner.System().NumGroups() >= 2 && c.Colocation {
-		// The distributed scheme on a multi-group system must have run
-		// the gate before invoking (the degenerate paths are excluded
-		// above).
+		pi.Runner.System().NumGroups() >= 2 && c.GainGate {
+		// A gated policy on a multi-group system must have run the gate
+		// before invoking (the degenerate paths are excluded above).
+		// Ungated policies — diffusion, the parallel baseline — are
+		// scoped out via the GainGate trait.
 		c.report(pi, "gain-cost-gate", "redistribution invoked without a recorded gate")
 	}
 	if c.Colocation {

@@ -179,6 +179,104 @@ func TestCheckerCleanAcrossRejoins(t *testing.T) {
 	}
 }
 
+// TestCheckerScopesByPolicyTraits pins the NewForPolicy mapping onto
+// the registry's traits: each policy gets exactly the rules it
+// promises, unknown names fall back to the strict set, and the legacy
+// New(colocation) constructor keeps its historical two-scheme scoping.
+func TestCheckerScopesByPolicyTraits(t *testing.T) {
+	for _, name := range dlb.PolicyNames() {
+		tr, ok := dlb.PolicyTraits(name)
+		if !ok {
+			t.Fatalf("registered policy %q has no traits", name)
+		}
+		c := invariant.NewForPolicy(name)
+		if c.Colocation != tr.Colocation || c.GainGate != tr.GainGate || c.BalanceTolerance != tr.BalanceTolerance {
+			t.Errorf("NewForPolicy(%q) = {%v %v %v}, want traits %+v",
+				name, c.Colocation, c.GainGate, c.BalanceTolerance, tr)
+		}
+	}
+	if c := invariant.NewForPolicy("no-such-policy"); !c.Colocation || !c.GainGate || !c.BalanceTolerance {
+		t.Errorf("unknown policy must fall back to the strict rule set, got %+v", c)
+	}
+	if c := invariant.New(true); !c.Colocation || !c.GainGate || !c.BalanceTolerance {
+		t.Errorf("New(true) lost its historical scoping: %+v", c)
+	}
+	if c := invariant.New(false); c.Colocation || c.GainGate || !c.BalanceTolerance {
+		t.Errorf("New(false) lost its historical scoping: %+v", c)
+	}
+}
+
+// TestCheckerGateRuleScopedOffForUngatedPolicies is the regression for
+// the latent paper-scheme assumption: diffusion redistributes on a
+// healthy multi-group system without ever running the Eq. 1 gate, so a
+// decision with Evaluated && Invoked && !GainCostValid is legitimate
+// under its checker — while the same decision under the distributed
+// scheme's checker remains a violation.
+func TestCheckerGateRuleScopedOffForUngatedPolicies(t *testing.T) {
+	r := cleanRun(t, invariant.New(true))
+	ungatedDecision := func() *engine.PhaseInfo {
+		return &engine.PhaseInfo{
+			Phase: engine.PhaseGlobalBalance, Step: 5, Runner: r,
+			Decision: &dlb.GlobalDecision{Evaluated: true, Invoked: true},
+		}
+	}
+
+	diff := invariant.NewForPolicy("diffusion")
+	diff.Check(ungatedDecision())
+	for _, v := range diff.Violations() {
+		if v.Rule == "gain-cost-gate" {
+			t.Fatalf("diffusion checker flagged a legitimate ungated redistribution: %v", v)
+		}
+	}
+
+	strict := invariant.NewForPolicy("distributed")
+	strict.Check(ungatedDecision())
+	found := false
+	for _, v := range strict.Violations() {
+		if v.Rule == "gain-cost-gate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("distributed checker must still flag an ungated redistribution")
+	}
+
+	// A decision that does carry a gate record is audited under every
+	// policy: a contradictory Invoked flag stays a violation even for
+	// diffusion's checker.
+	diff2 := invariant.NewForPolicy("diffusion")
+	diff2.Check(&engine.PhaseInfo{
+		Phase: engine.PhaseGlobalBalance, Step: 6, Runner: r,
+		Decision: &dlb.GlobalDecision{
+			GainCostValid: true, Gain: 1, Gamma: 2, Cost: 10, Invoked: true,
+		},
+	})
+	found = false
+	for _, v := range diff2.Violations() {
+		if v.Rule == "gain-cost-gate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("a recorded gate must be audited regardless of policy traits")
+	}
+}
+
+// TestCheckerBalanceToleranceScopedOff: policies that trade the
+// one-quantum bound away (knapsack's movement cap, SFC contiguity)
+// must not be held to it, while their structural rules stay on.
+func TestCheckerBalanceToleranceScopedOff(t *testing.T) {
+	for _, name := range []string{"knapsack", "sfc", "hilbert-sfc"} {
+		c := invariant.NewForPolicy(name)
+		if c.BalanceTolerance {
+			t.Errorf("%s: balance-tolerance should be scoped off", name)
+		}
+		if !c.Colocation {
+			t.Errorf("%s: structural co-location rule must stay on", name)
+		}
+	}
+}
+
 // TestCheckerCatchesDirtyRejoin hand-assigns a grid to a processor
 // that is rejoining after a crash — exactly the state the rejoin-clean
 // rule exists to forbid (a crash loses the proc's grids; nothing may

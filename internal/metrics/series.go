@@ -46,6 +46,18 @@ func (h *History) Names() []string {
 	return append([]string(nil), h.order...)
 }
 
+// Mean returns the arithmetic mean of vals (0 for an empty slice).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
 // sparkRunes render a series as a compact terminal sparkline.
 var sparkRunes = []rune("▁▂▃▄▅▆▇█")
 

@@ -16,11 +16,17 @@ func FuzzScenario(f *testing.F) {
 	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{9, 0, 0, 0, 0, 0, 0, 0, 3, 7, 11, 42})
 	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
-	// Fail → rejoin → fail-again on one processor (byte 24 hits the
+	// Fail → rejoin → fail-again on one processor (byte 25 hits the
 	// churn-injection case of FromBytes).
-	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 24})
-	// Chaos kill point (byte 25 hits the worker-kill injection case).
 	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 25})
+	// Chaos kill point (byte 26 hits the worker-kill injection case).
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 26})
+	// Policy overrides under the churn schedule: byte 13 selects
+	// diffusion, byte 69 knapsack (quotient indexes the sorted
+	// registry), so the fuzzer starts from non-paper policies exercised
+	// through faults and rejoins.
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 25, 13})
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 25, 69})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sc := FromBytes(data)
 		if out := sc.Execute(); out.Failed() {
@@ -34,7 +40,7 @@ func FuzzScenario(f *testing.F) {
 // survive normalisation (so the entry really stresses re-admission)
 // and the scenario must execute with zero invariant violations.
 func TestFuzzCorpusChurnSeed(t *testing.T) {
-	sc := FromBytes([]byte{5, 0, 0, 0, 0, 0, 0, 0, 24})
+	sc := FromBytes([]byte{5, 0, 0, 0, 0, 0, 0, 0, 25})
 	bounded := 0
 	for _, e := range sc.Faults {
 		if e.Kind == fault.ProcFailure && e.End > e.Start {
@@ -49,12 +55,45 @@ func TestFuzzCorpusChurnSeed(t *testing.T) {
 	}
 }
 
+// TestFuzzCorpusPolicyBytes pins the policy-override corpus entries:
+// the policy byte must actually select the intended non-paper policy
+// (through the sorted registry), the churn schedule must survive
+// alongside it, and the combination must execute clean under the
+// policy-scoped oracle.
+func TestFuzzCorpusPolicyBytes(t *testing.T) {
+	cases := []struct {
+		b      byte
+		scheme string
+	}{
+		{13, "diffusion"},
+		{69, "knapsack"},
+	}
+	for _, c := range cases {
+		sc := FromBytes([]byte{5, 0, 0, 0, 0, 0, 0, 0, 25, c.b})
+		if sc.Scheme != c.scheme {
+			t.Fatalf("policy byte %d selected %q, want %q", c.b, sc.Scheme, c.scheme)
+		}
+		bounded := 0
+		for _, e := range sc.Faults {
+			if e.Kind == fault.ProcFailure && e.End > e.Start {
+				bounded++
+			}
+		}
+		if bounded != 2 {
+			t.Fatalf("%s: churn schedule lost after Normalize: %+v", c.scheme, sc.Faults)
+		}
+		if out := sc.Execute(); out.Failed() {
+			failNow(t, sc, out)
+		}
+	}
+}
+
 // TestFuzzCorpusWorkerKillSeed pins the worker-kill corpus entry: the
 // injected kill point must survive normalisation and the key=value
 // round-trip (a supervised replay needs the exact schedule), while the
 // in-process executor must treat it as inert.
 func TestFuzzCorpusWorkerKillSeed(t *testing.T) {
-	sc := FromBytes([]byte{5, 0, 0, 0, 0, 0, 0, 0, 25})
+	sc := FromBytes([]byte{5, 0, 0, 0, 0, 0, 0, 0, 26})
 	kills := 0
 	for _, e := range sc.Faults {
 		if e.Kind == fault.WorkerKill {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math/rand"
 
+	"samrdlb/internal/dlb"
 	"samrdlb/internal/fault"
 	"samrdlb/internal/machine"
 	"samrdlb/internal/workload"
@@ -34,10 +35,24 @@ func Generate(seed int64) Scenario {
 	if rng.Float64() < 0.3 {
 		s.MaxLevel = 2
 	}
-	if rng.Float64() < 0.75 {
+	// One draw selects the policy, weighted toward the paper scheme
+	// (it exercises the gate and group machinery the other policies
+	// delegate to) with every registered policy represented.
+	switch r := rng.Float64(); {
+	case r < 0.52:
 		s.Scheme = "distributed"
-	} else {
+	case r < 0.66:
 		s.Scheme = "parallel"
+	case r < 0.74:
+		s.Scheme = "sfc"
+	case r < 0.81:
+		s.Scheme = "hilbert-sfc"
+	case r < 0.88:
+		s.Scheme = "diffusion"
+	case r < 0.94:
+		s.Scheme = "diffusion-sos"
+	default:
+		s.Scheme = "knapsack"
 	}
 	s.Wan = ngroups >= 2 && rng.Float64() < 0.5
 	if rng.Float64() < 0.3 {
@@ -189,7 +204,7 @@ func FromBytes(data []byte) Scenario {
 	}
 	s := Generate(seed)
 	for i, b := range data {
-		switch b % 13 {
+		switch b % 14 {
 		case 0:
 			s.Steps = 1 + int(b/11)%4
 		case 1:
@@ -240,6 +255,12 @@ func FromBytes(data []byte) Scenario {
 				Start: float64(int(b) % max(1, s.Steps)),
 				Group: g, A: -1, B: -1, Proc: -1,
 			})
+		case 13:
+			// Policy override: the fuzzer explores every registered
+			// balancer policy for free (the quotient indexes the sorted
+			// registry).
+			names := dlb.PolicyNames()
+			s.Scheme = names[int(b/14)%len(names)]
 		}
 	}
 	// Keep fuzz executions cheap.

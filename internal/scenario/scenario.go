@@ -47,7 +47,10 @@ type Scenario struct {
 	DomainN int
 	// MaxLevel is the deepest refinement level (1 or 2).
 	MaxLevel int
-	Scheme   string // distributed | parallel
+	// Scheme names the balancer policy (any canonical name or alias of
+	// the dlb policy registry: distributed, parallel, sfc, hilbert-sfc,
+	// diffusion, diffusion-sos, knapsack). Normalize canonicalises it.
+	Scheme string
 	Groups   []GroupDef
 	// Wan selects the MREN OC-3 WAN between groups (Gigabit LAN
 	// otherwise); Traffic, when non-zero, seeds bursty background
@@ -127,13 +130,13 @@ func (s *Scenario) Driver() workload.Driver {
 	}
 }
 
-// balancer builds the scheme, wrapping it with the injected bug when
-// the scenario asks for one.
+// balancer builds the scheme from the policy registry, wrapping it
+// with the injected bug when the scenario asks for one. Every leg of a
+// run gets a fresh instance, so stateful policies (diffusion-sos's
+// flow memory) never leak across legs.
 func (s *Scenario) balancer() dlb.Balancer {
-	var b dlb.Balancer
-	if s.Scheme == "parallel" {
-		b = dlb.ParallelDLB{}
-	} else {
+	b, err := dlb.NewPolicy(s.Scheme)
+	if err != nil {
 		b = dlb.DistributedDLB{}
 	}
 	if s.InjectBug == "colocation" {
@@ -232,14 +235,30 @@ func (o Outcome) Summary() string {
 // newest generation and finish the run — the restored state passes
 // through the same oracle.
 func (s Scenario) Execute() (out Outcome) {
+	return s.execute(nil)
+}
+
+// ExecuteWithHistory runs the scenario like Execute while collecting
+// the engine's per-step time series (step-time, cells,
+// imbalance-ratio, remote-comm) into hist — what the policy tournament
+// scores from. With a resume cut, both legs append to the same
+// history.
+func (s Scenario) ExecuteWithHistory(hist *metrics.History) Outcome {
+	return s.execute(hist)
+}
+
+func (s Scenario) execute(hist *metrics.History) (out Outcome) {
 	defer func() {
 		if p := recover(); p != nil {
 			out.Panic = fmt.Sprint(p)
 		}
 	}()
-	colocation := s.Scheme != "parallel"
-	chk := invariant.New(colocation)
+	// Rule scoping follows the policy's registered traits: structural
+	// rules always on, paper-specific rules only where the policy
+	// promises them.
+	chk := invariant.NewForPolicy(s.Scheme)
 	opt, err := s.EngineOptions(chk.Check)
+	opt.History = hist
 	if err != nil {
 		out.Err = err.Error()
 		return out
@@ -263,6 +282,7 @@ func (s Scenario) Execute() (out Outcome) {
 			out.Err = rerr.Error()
 			return out
 		}
+		ropt.History = hist
 		ropt.CheckpointDir = dir
 		r, _, rerr2 := engine.Resume(s.System(), s.Driver(), ropt)
 		if rerr2 != nil {
@@ -365,7 +385,7 @@ func Parse(in string) (Scenario, error) {
 			s.DomainN, err = strconv.Atoi(v)
 		case "maxlevel":
 			s.MaxLevel, err = strconv.Atoi(v)
-		case "scheme":
+		case "scheme", "policy":
 			s.Scheme = v
 		case "groups":
 			s.Groups, err = parseGroups(v)
@@ -496,7 +516,9 @@ func (s *Scenario) Normalize() {
 	default:
 		s.Dataset = "ShockPool3D"
 	}
-	if s.Scheme != "parallel" {
+	if canon, ok := dlb.CanonicalPolicy(s.Scheme); ok {
+		s.Scheme = canon
+	} else {
 		s.Scheme = "distributed"
 	}
 	// Snap the domain to the nearest supported size.
